@@ -1,0 +1,113 @@
+"""Ablation — adaptive k-NN search and dynamic update cost.
+
+1. **k-NN**: the radius-doubling loop versus a single conservatively-large
+   range query.  Adaptive search touches far fewer nodes and bytes when the
+   data are clustered (the common case), at the price of extra rounds.
+2. **Updates**: protocol-level inserts/deletes route one entry to its owner
+   per operation; cost should be the Chord lookup O(log n) hops.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.knn import knn_search
+from repro.core.platform import IndexPlatform
+from repro.core.updates import UpdateProtocol
+from repro.datasets.synthetic import ClusteredGaussianConfig, generate_clustered
+from repro.dht.ring import ChordRing
+from repro.eval.ground_truth import exact_top_k
+from repro.eval.report import format_table
+from repro.metric.vector import EuclideanMetric
+from repro.sim.king import king_latency_model
+
+N_NODES = 48
+
+
+def _platform(seed=0):
+    cfg = ClusteredGaussianConfig(n_objects=4000, dim=12, n_clusters=5, deviation=6.0)
+    data, _ = generate_clustered(cfg, seed=seed)
+    metric = EuclideanMetric(box=(cfg.low, cfg.high), dim=cfg.dim)
+    latency = king_latency_model(n_hosts=N_NODES, seed=seed)
+    ring = ChordRing.build(N_NODES, m=32, seed=seed, latency=latency, pns=False)
+    platform = IndexPlatform(ring)
+    platform.create_index("idx", data, metric, k=4, selection="kmeans", seed=seed)
+    return platform, data, cfg, metric
+
+
+def test_knn_vs_big_range(benchmark, save_result):
+    platform, data, cfg, metric = _platform()
+    rng = np.random.default_rng(1)
+    qids = rng.integers(0, cfg.n_objects, size=15)
+
+    def run():
+        adaptive = {"msgs": 0, "bytes": 0, "nodes": 0, "rounds": 0, "exact": 0}
+        for qi in qids:
+            res = knn_search(platform, "idx", data[qi], k=10, initial_radius=0.01 * cfg.max_distance)
+            truth = exact_top_k(data, metric, data[qi], 10)
+            assert set(res.object_ids.tolist()) == set(int(t) for t in truth)
+            adaptive["msgs"] += res.query_messages
+            adaptive["bytes"] += res.query_bytes + res.result_bytes
+            adaptive["nodes"] += res.index_nodes
+            adaptive["rounds"] += res.rounds
+            adaptive["exact"] += res.exact
+        big = {"msgs": 0, "bytes": 0, "nodes": 0}
+        index = platform.indexes["idx"]
+        for qid, qi in enumerate(qids):
+            proto, stats = platform.protocol("idx", top_k=10)
+            platform.sim.reset()
+            # conservative radius: half the space diameter guarantees k hits
+            proto.issue(
+                index.make_query(data[qi], 0.5 * cfg.max_distance, qid=0),
+                platform.ring.nodes()[qid % N_NODES],
+            )
+            platform.sim.run()
+            st = stats.for_query(0)
+            big["msgs"] += st.query_messages
+            big["bytes"] += st.total_bytes
+            big["nodes"] += len(st.index_nodes)
+        n = len(qids)
+        rows = [
+            ["adaptive kNN", adaptive["msgs"] / n, adaptive["bytes"] / n,
+             adaptive["nodes"] / n, adaptive["rounds"] / n],
+            ["one big range", big["msgs"] / n, big["bytes"] / n, big["nodes"] / n, 1.0],
+        ]
+        return rows, adaptive
+
+    rows, adaptive = run_once(benchmark, run)
+    save_result(
+        "ablation_knn",
+        "Ablation — adaptive kNN (radius doubling) vs one conservative range query\n"
+        + format_table(["strategy", "msgs/query", "bytes/query", "nodes/query", "rounds"], rows),
+    )
+    assert adaptive["exact"] == len(qids)
+    assert rows[0][3] <= rows[1][3]  # adaptive touches no more nodes
+
+
+def test_update_cost(benchmark, save_result):
+    platform, data, cfg, metric = _platform(seed=2)
+    up = UpdateProtocol(platform.indexes["idx"])
+    rng = np.random.default_rng(3)
+    ids = rng.choice(cfg.n_objects, size=50, replace=False)
+
+    def run():
+        for oid in ids:
+            up.delete(int(oid))
+        for oid in ids:
+            up.insert(int(oid))
+        return up.stats
+
+    stats = run_once(benchmark, run)
+    save_result(
+        "ablation_updates",
+        "Ablation — dynamic update cost (50 deletes + 50 inserts)\n"
+        + format_table(
+            ["ops", "messages", "bytes", "mean hops"],
+            [[stats.inserts + stats.deletes, stats.messages, stats.bytes,
+              round(stats.mean_hops, 2)]],
+        )
+        + f"\n(log2(n_nodes) = {np.log2(N_NODES):.1f} — mean hops should be comparable)",
+    )
+    assert stats.inserts == 50 and stats.deletes == 50
+    assert stats.mean_hops <= 3 * np.log2(N_NODES)
+    # the index is intact after churn of entries
+    assert platform.indexes["idx"].total_entries() == cfg.n_objects

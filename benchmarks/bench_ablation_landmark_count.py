@@ -1,0 +1,94 @@
+"""Ablation — the number of landmarks (§3.1's stated trade-off).
+
+"If the amount of landmarks is too small, the index structure can not
+efficiently filter out the unrelated data objects ... Reversely, an
+excessively large number of landmarks will result in high dimensionality of
+the index space [where] complex queries have low efficiency."
+
+Sweeps k over the synthetic workload at a fixed range factor and reports the
+filtering quality (candidates examined per query vs true in-range objects)
+and routing cost — making the §3.1 prose quantitative.  Also sweeps the
+landmark-selection sample size (paper: 2000).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.platform import IndexPlatform
+from repro.datasets.synthetic import ClusteredGaussianConfig, generate_clustered
+from repro.dht.ring import ChordRing
+from repro.eval.ground_truth import batch_exact_top_k
+from repro.eval.metrics import merge_top_k, recall_at_k
+from repro.eval.report import format_table
+from repro.metric.vector import EuclideanMetric
+from repro.sim.king import king_latency_model
+
+N_NODES = 48
+N_QUERIES = 40
+K_SWEEP = (2, 5, 10, 20, 40)
+SAMPLE_SWEEP = (100, 500, 2000)
+RANGE_FACTOR = 0.05
+
+
+def _measure(platform, data, truth, query_ids, radius):
+    proto, stats = platform.protocol("idx", top_k=10, range_filter=False)
+    index = platform.indexes["idx"]
+    nodes = platform.ring.nodes()
+    platform.sim.reset()
+    for qid, qi in enumerate(query_ids):
+        proto.issue(index.make_query(data[qi], radius, qid=qid), nodes[qid % len(nodes)])
+    platform.sim.run()
+    recalls, cands = [], []
+    for qid in range(len(query_ids)):
+        st = stats.for_query(qid)
+        recalls.append(recall_at_k(truth[qid], merge_top_k(st.entries, 10)))
+        cands.append(len(st.entries))
+    s = stats.summary()
+    return float(np.mean(recalls)), s["query_messages"], s["total_bytes"], float(np.mean(cands))
+
+
+def test_landmark_count_sweep(benchmark, save_result):
+    cfg = ClusteredGaussianConfig(n_objects=6000, dim=40, n_clusters=8, deviation=10.0)
+    data, _ = generate_clustered(cfg, seed=0)
+    metric = EuclideanMetric(box=(cfg.low, cfg.high), dim=cfg.dim)
+    rng = np.random.default_rng(1)
+    query_ids = rng.integers(0, cfg.n_objects, size=N_QUERIES)
+    truth = batch_exact_top_k(data, metric, data[query_ids], k=10)
+    radius = RANGE_FACTOR * cfg.max_distance
+    latency = king_latency_model(n_hosts=N_NODES, seed=0)
+
+    def run():
+        rows = []
+        for k in K_SWEEP:
+            ring = ChordRing.build(N_NODES, m=64, seed=0, latency=latency, pns=False)
+            platform = IndexPlatform(ring)
+            platform.create_index(
+                "idx", data, metric, k=k, selection="kmeans", sample_size=2000, seed=2
+            )
+            recall, msgs, bts, cands = _measure(platform, data, truth, query_ids, radius)
+            rows.append([f"k={k}", recall, msgs, bts, cands])
+        for sample in SAMPLE_SWEEP:
+            ring = ChordRing.build(N_NODES, m=64, seed=0, latency=latency, pns=False)
+            platform = IndexPlatform(ring)
+            platform.create_index(
+                "idx", data, metric, k=10, selection="kmeans", sample_size=sample, seed=2
+            )
+            recall, msgs, bts, cands = _measure(platform, data, truth, query_ids, radius)
+            rows.append([f"k=10,sample={sample}", recall, msgs, bts, cands])
+        return rows
+
+    rows = run_once(benchmark, run)
+    save_result(
+        "ablation_landmark_count",
+        f"Ablation — landmark count & selection sample (range factor {RANGE_FACTOR:.0%})\n"
+        + format_table(
+            ["config", "recall@10", "msgs/query", "bytes/query", "returned/query"],
+            rows,
+        ),
+    )
+    by = {r[0]: r for r in rows}
+    # very few landmarks filter poorly: k=2 returns no better recall than k=10
+    assert by["k=10"][1] >= by["k=2"][1] - 0.05
+    # the sweep must show the paper's trade-off direction on cost somewhere:
+    # more landmarks -> bigger messages per subquery (4k+9 bytes each)
+    assert by["k=40"][3] >= by["k=2"][3] * 0.5

@@ -1,0 +1,96 @@
+"""Ablation — the dynamic load balancing trade-off knobs δ and P_l (§3.4).
+
+"The average value of δ and P_l control the tradeoff between the overhead
+and quality of the load balancing."  Sweeps both knobs on a skewed index and
+reports moves, probe traffic, final balance, and the query-routing cost the
+paper says balancing degrades (skewed node ids deepen the embedded tree).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.loadbalance import dynamic_load_migration
+from repro.core.platform import IndexPlatform
+from repro.datasets.synthetic import ClusteredGaussianConfig, generate_clustered
+from repro.dht.ring import ChordRing
+from repro.eval.report import format_table
+from repro.metric.vector import EuclideanMetric
+from repro.sim.king import king_latency_model
+
+N_NODES = 48
+SETTINGS = [(0.0, 4), (0.0, 1), (0.5, 4), (0.5, 1), (2.0, 4)]
+
+
+def _fresh_platform():
+    cfg = ClusteredGaussianConfig(n_objects=4000, dim=12, n_clusters=2, deviation=4.0)
+    data, _ = generate_clustered(cfg, seed=4)
+    metric = EuclideanMetric(box=(cfg.low, cfg.high), dim=cfg.dim)
+    latency = king_latency_model(n_hosts=N_NODES, seed=4)
+    ring = ChordRing.build(N_NODES, m=32, seed=4, latency=latency, pns=False)
+    platform = IndexPlatform(ring)
+    platform.create_index(
+        "idx", data, metric, k=4, selection="greedy", sample_size=500, seed=4
+    )
+    return platform, data, cfg
+
+
+def _query_cost(platform, data, cfg):
+    """Mean hops over a small probe workload after balancing."""
+    proto, stats = platform.protocol("idx")
+    index = platform.indexes["idx"]
+    nodes = platform.ring.nodes()
+    rng = np.random.default_rng(5)
+    for qid in range(25):
+        qi = int(rng.integers(0, len(data)))
+        proto.issue(
+            index.make_query(data[qi], 0.05 * cfg.max_distance, qid=qid),
+            nodes[qid % len(nodes)],
+        )
+    platform.sim.run()
+    return stats.mean_hops()
+
+
+def test_lb_parameter_sweep(benchmark, save_result):
+    def run():
+        rows = []
+        # baseline without any balancing
+        platform, data, cfg = _fresh_platform()
+        loads = platform.load_distribution()
+        rows.append(
+            ["(off)", "-", 0, 0, int(loads.max()), _query_cost(platform, data, cfg)]
+        )
+        for delta, pl in SETTINGS:
+            platform, data, cfg = _fresh_platform()
+            report = dynamic_load_migration(
+                platform, delta=delta, probe_level=pl, seed=0
+            )
+            rows.append(
+                [
+                    f"d={delta:g}",
+                    f"P_l={pl}",
+                    report.moves,
+                    report.probes,
+                    report.final_max_load,
+                    _query_cost(platform, data, cfg),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    save_result(
+        "ablation_lb_params",
+        "Ablation — dynamic load balancing knobs (delta, P_l)\n"
+        + format_table(
+            ["delta", "probe level", "moves", "probes", "final max load", "query hops"],
+            rows,
+        ),
+    )
+    base = rows[0]
+    aggressive = rows[1]  # delta=0, P_l=4
+    # balancing flattens load...
+    assert aggressive[4] < base[4]
+    # ...but costs query-routing hops (the paper's stated trade-off)
+    assert aggressive[5] >= base[5]
+    # larger delta tolerates more imbalance with fewer moves
+    lazy = rows[5]  # delta=2.0
+    assert lazy[2] <= aggressive[2]

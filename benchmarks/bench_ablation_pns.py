@@ -1,0 +1,69 @@
+"""Ablation — Chord-PNS versus plain Chord fingers.
+
+The paper runs Chord with proximity neighbour selection [9]: each node fills
+finger level ``i`` with the *physically closest* node whose identifier lies
+in ``[n + 2^i, n + 2^(i+1))``.  PNS leaves hop counts unchanged (any
+candidate is a valid finger) but cuts per-hop latency, so response time and
+maximum latency drop.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_NODES, run_once
+from repro.core.platform import IndexPlatform
+from repro.datasets.synthetic import ClusteredGaussianConfig, generate_clustered
+from repro.dht.ring import ChordRing
+from repro.eval.report import format_table
+from repro.metric.vector import EuclideanMetric
+from repro.sim.king import king_latency_model
+
+N_QUERIES = 60
+
+
+def test_pns_ablation(benchmark, save_result):
+    cfg = ClusteredGaussianConfig(n_objects=5000, dim=20, n_clusters=6, deviation=10.0)
+    data, _ = generate_clustered(cfg, seed=0)
+    metric = EuclideanMetric(box=(cfg.low, cfg.high), dim=cfg.dim)
+    latency = king_latency_model(n_hosts=BENCH_NODES, seed=0)
+    rng = np.random.default_rng(1)
+    query_ids = rng.integers(0, cfg.n_objects, size=N_QUERIES)
+    radius = 0.05 * cfg.max_distance
+
+    def run():
+        rows = []
+        for pns in (False, True):
+            ring = ChordRing.build(BENCH_NODES, m=32, seed=0, latency=latency, pns=pns)
+            platform = IndexPlatform(ring)
+            platform.create_index(
+                "idx", data, metric, k=5, selection="kmeans", sample_size=800, seed=1
+            )
+            proto, stats = platform.protocol("idx")
+            nodes = ring.nodes()
+            index = platform.indexes["idx"]
+            for qid, qi in enumerate(query_ids):
+                proto.issue(index.make_query(data[qi], radius, qid=qid), nodes[qid % len(nodes)])
+            platform.sim.run()
+            s = stats.summary()
+            rows.append(
+                [
+                    "PNS" if pns else "plain",
+                    s["hops"],
+                    s["response_time"],
+                    s["max_latency"],
+                    s["query_messages"],
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    save_result(
+        "ablation_pns",
+        "Ablation — proximity neighbour selection (Chord-PNS) vs plain fingers\n"
+        + format_table(
+            ["fingers", "hops", "response_time", "max_latency", "messages"], rows
+        ),
+    )
+    plain, pns = rows
+    # PNS reduces time-to-answer without changing the message economy much.
+    assert pns[3] <= plain[3] * 1.05  # max latency no worse
+    assert pns[2] <= plain[2] * 1.10  # response time no worse

@@ -1,0 +1,49 @@
+"""Figure 2 — performance of the landmark schemes WITHOUT load balancing.
+
+Sweeps the query range factor from 0.1% to 20% over the four schemes
+(Greedy-5/10, Kmean-5/10) on the synthetic clustered dataset and reports the
+paper's panels: recall, hops, response time, maximum latency and bandwidth.
+
+Paper headline to compare against: Kmean-10 and Greedy-10 reach ~100% recall
+by a ~5% range factor; the 10-landmark schemes beat the 5-landmark ones; and
+k-means beats greedy (centroid landmarks model the index space better).
+"""
+
+from benchmarks.conftest import bench_overrides, run_once
+from repro.eval.experiments import figure2_config
+from repro.eval.report import format_sweep
+from repro.eval.runner import run_experiment
+
+
+def test_figure2_sweep(benchmark, save_result):
+    cfg = figure2_config(**bench_overrides())
+    result = run_once(benchmark, lambda: run_experiment(cfg))
+
+    save_result(
+        "figure2",
+        "Figure 2 — synthetic dataset, no load balancing\n"
+        + format_sweep(
+            result,
+            metrics=(
+                "recall",
+                "hops",
+                "response_time",
+                "max_latency",
+                "total_bytes",
+                "query_messages",
+                "index_nodes",
+            ),
+        ),
+    )
+
+    # Shape assertions mirroring the paper's claims:
+    for s in result.schemes:
+        recalls = [row["recall"] for row in s.rows]
+        # recall is monotone non-decreasing in the range factor (within noise)
+        assert recalls[-1] >= recalls[0]
+        # ... and high at the top of the sweep
+        assert recalls[-1] > 0.9
+    # 10-landmark schemes dominate 5-landmark ones at the 5% factor.
+    at5 = {s.scheme.label: s.rows[4]["recall"] for s in result.schemes}
+    assert at5["Kmean-10"] >= at5["Kmean-5"] - 0.05
+    assert at5["Greedy-10"] >= at5["Greedy-5"] - 0.05

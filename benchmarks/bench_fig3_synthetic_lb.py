@@ -1,0 +1,52 @@
+"""Figure 3 — performance of the landmark schemes WITH dynamic load balancing.
+
+Same sweep as Figure 2 but with dynamic load migration (δ = 0, P_l = 4 — the
+paper's maximum-effect setting) applied between index construction and
+querying.
+
+Paper headline: versus Figure 2, recall dips and routing cost rises for all
+schemes (migration skews node ids and deepens the embedded tree), but a high
+recall is still achievable at a reasonable cost.
+"""
+
+from benchmarks.conftest import bench_overrides, run_once
+from repro.eval.experiments import figure3_config
+from repro.eval.report import format_dict, format_sweep
+from repro.eval.runner import run_experiment
+
+
+def test_figure3_sweep(benchmark, save_result):
+    cfg = figure3_config(**bench_overrides())
+    result = run_once(benchmark, lambda: run_experiment(cfg))
+
+    lb_lines = []
+    for s in result.schemes:
+        r = s.lb_report
+        lb_lines.append(
+            f"  {s.scheme.label:10s}: {r.moves} moves / {r.rounds} rounds, "
+            f"max load {r.initial_max_load} -> {r.final_max_load}"
+        )
+    save_result(
+        "figure3",
+        "Figure 3 — synthetic dataset, with dynamic load balancing (delta=0, P_l=4)\n"
+        + format_sweep(
+            result,
+            metrics=(
+                "recall",
+                "hops",
+                "response_time",
+                "max_latency",
+                "total_bytes",
+                "query_messages",
+                "index_nodes",
+            ),
+        )
+        + "\n\n[load balancing]\n"
+        + "\n".join(lb_lines),
+    )
+
+    for s in result.schemes:
+        # balancing must actually have flattened the load
+        assert s.lb_report.final_max_load <= s.lb_report.initial_max_load
+        # recall still reaches a high value at large range factors
+        assert s.rows[-1]["recall"] > 0.8

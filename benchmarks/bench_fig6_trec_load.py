@@ -1,0 +1,50 @@
+"""Figure 6 — load distribution on the TREC-like corpus (with LB).
+
+The paper's point: the greedy method maps a large number of unrelated
+documents to the same point near the upper boundary of the index space —
+the locality-preserving hash sends them all to a *single key*, and "the load
+balancing mechanism can not divide the index entries associated with a
+single key", so entries stay concentrated on few nodes even after balancing;
+k-means spreads them far better.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_overrides, run_once
+from repro.eval.experiments import figure6_config
+from repro.eval.report import format_load_distribution
+from repro.eval.runner import ExperimentResult, build_bundle, run_scheme
+
+
+def test_figure6_trec_load(benchmark, save_result):
+    cfg = figure6_config(**bench_overrides(range_factors=(0.05,)))
+    bundle = build_bundle(cfg)
+
+    def run():
+        result = ExperimentResult(config=cfg)
+        for i, scheme in enumerate(cfg.schemes):
+            result.schemes.append(run_scheme(cfg, scheme, bundle, seed_offset=i))
+        return result
+
+    result = run_once(benchmark, run)
+
+    greedy = result.scheme("Greedy-10")
+    kmean = result.scheme("Kmean-10")
+    n_docs = bundle.dataset.shape[0]
+    lines = [
+        "Figure 6 — TREC-like corpus load distribution (sorted, with LB)",
+        f"documents {n_docs}, nodes {cfg.n_nodes}",
+        "paper reference: greedy stays concentrated on few nodes even with LB; "
+        "k-means spreads the index",
+        "",
+        format_load_distribution(result, top_n=10),
+    ]
+    save_result("figure6", "\n".join(lines))
+
+    # The paper's qualitative claim: greedy's distribution is far more
+    # concentrated than k-means' (higher gini / fewer loaded nodes).
+    assert greedy.load_stats["gini"] >= kmean.load_stats["gini"] - 0.05
+    assert greedy.load_stats["max"] >= kmean.load_stats["max"]
+    # no entries lost either way
+    assert greedy.load_distribution.sum() == n_docs
+    assert kmean.load_distribution.sum() == n_docs

@@ -1,0 +1,105 @@
+"""Microbenchmarks of the vectorised hot paths.
+
+These are classic pytest-benchmark measurements (many rounds, statistics) of
+the kernels the experiments spend their time in — the profile-first rule of
+the HPC guides this repo follows.  They also guard against performance
+regressions: the assertions encode the throughput floors the experiment
+runtimes were budgeted with.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index_space import IndexSpaceBounds
+from repro.core.landmarks import greedy_selection
+from repro.core.lph import lp_hash_batch
+from repro.core.sfc import hilbert_encode, morton_encode, quantize
+from repro.core.storage import Shard
+from repro.dht.ring import ChordRing
+from repro.metric.vector import EuclideanMetric
+
+RNG = np.random.default_rng(0)
+
+
+class TestProjectionKernels:
+    def test_euclidean_one_to_many_100d(self, benchmark):
+        """Landmark projection: one landmark against 1e5 100-d objects."""
+        metric = EuclideanMetric()
+        x = RNG.uniform(0, 100, size=100)
+        Y = RNG.uniform(0, 100, size=(100_000, 100))
+        out = benchmark(metric.one_to_many, x, Y)
+        assert out.shape == (100_000,)
+
+    def test_greedy_selection_sample(self, benchmark):
+        """Algorithm 1 on the paper's 2000-object sample, 10 landmarks."""
+        sample = RNG.uniform(0, 100, size=(2000, 100))
+        metric = EuclideanMetric()
+        ls = benchmark(greedy_selection, sample, metric, 10, 0)
+        assert ls.k == 10
+
+
+class TestHashKernels:
+    def test_lph_batch_m64(self, benchmark):
+        """Algorithm 2 over 1e5 points, 10-d index space, 64-bit keys."""
+        bounds = IndexSpaceBounds.uniform(10, 0.0, 1000.0)
+        pts = RNG.uniform(0, 1000, size=(100_000, 10))
+        keys = benchmark(lp_hash_batch, pts, bounds, 64)
+        assert keys.dtype == np.uint64
+
+    def test_morton_encode(self, benchmark):
+        cells = RNG.integers(0, 256, size=(50_000, 4), dtype=np.int64)
+        keys = benchmark(morton_encode, cells, 8)
+        assert len(keys) == 50_000
+
+    def test_quantize(self, benchmark):
+        pts = RNG.uniform(0, 1000, size=(100_000, 10))
+        lows, highs = np.zeros(10), np.full(10, 1000.0)
+        cells = benchmark(quantize, pts, lows, highs, 8)
+        assert cells.max() < 256
+
+
+class TestStorageKernels:
+    def _shard(self, n=20_000, k=10):
+        shard = Shard(k)
+        shard.add(
+            RNG.integers(0, 2**63, size=n, dtype=np.uint64),
+            RNG.uniform(0, 1000, size=(n, k)),
+            np.arange(n),
+        )
+        return shard
+
+    def test_range_search_with_key_filter(self, benchmark):
+        """The query-time hot path: key slice + rectangle mask."""
+        shard = self._shard()
+        lows = np.full(10, 200.0)
+        highs = np.full(10, 800.0)
+        pos = benchmark(shard.range_search, lows, highs, 2**61, 2**62)
+        assert pos.dtype == np.int64
+
+    def test_range_search_key_filter_beats_full_scan(self):
+        """The sorted-key slice must prune most of the shard for a narrow
+        claim (the reason shards keep keys sorted)."""
+        import timeit
+
+        shard = self._shard(n=100_000)
+        lows = np.full(10, 0.0)
+        highs = np.full(10, 1000.0)
+        narrow = timeit.timeit(
+            lambda: shard.range_search(lows, highs, 0, 2**50), number=50
+        )
+        full = timeit.timeit(lambda: shard.range_search(lows, highs), number=50)
+        assert narrow < full
+
+
+class TestRingKernels:
+    def test_rebuild_tables_256_nodes(self, benchmark):
+        """Structural table rebuild (the load-balancing inner loop)."""
+        ring = ChordRing.build(256, m=32, seed=0)
+        benchmark(ring.rebuild_tables)
+        assert len(ring.nodes()[0].fingers) == 32
+
+    def test_owners_of_keys_bulk(self, benchmark):
+        ring = ChordRing.build(256, m=32, seed=0)
+        keys = RNG.integers(0, 2**32, size=100_000, dtype=np.uint64)
+        pos = benchmark(ring.owners_of_keys, keys)
+        assert len(pos) == 100_000

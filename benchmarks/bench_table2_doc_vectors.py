@@ -1,0 +1,38 @@
+"""Table 2 — the distribution of document vector sizes.
+
+Regenerates the synthetic AP-like corpus and reports the vector-size
+distribution (min / 5th / 50th / 95th / max / mean unique terms per
+document) next to the paper's Table 2, plus corpus-generation throughput.
+"""
+
+from benchmarks.conftest import BENCH_CORPUS_SCALE, run_once
+from repro.datasets.documents import (
+    PAPER_TABLE2,
+    SyntheticCorpusConfig,
+    generate_corpus,
+    vector_size_stats,
+)
+from repro.eval.report import format_table
+
+
+def test_table2_doc_vector_sizes(benchmark, save_result):
+    cfg = SyntheticCorpusConfig().scaled(BENCH_CORPUS_SCALE)
+
+    corpus = run_once(benchmark, lambda: generate_corpus(cfg, seed=0))
+
+    stats = vector_size_stats(corpus.doc_sizes)
+    rows = [[k, PAPER_TABLE2[k], round(stats[k], 1)] for k in PAPER_TABLE2]
+    rows.append(["documents", 157_021, corpus.n_docs])
+    rows.append(["distinct terms", 233_640, corpus.n_distinct_terms])
+    rows.append(["stop words removed", 571, cfg.n_stopwords])
+    save_result(
+        "table2",
+        format_table(
+            ["statistic", "paper (AP)", "measured (synthetic)"],
+            rows,
+            title="Table 2 — distribution of doc vector sizes",
+        ),
+    )
+    # Shape assertions: the calibration must stay within a tolerant band.
+    assert abs(stats["50th"] - PAPER_TABLE2["50th"]) / PAPER_TABLE2["50th"] < 0.2
+    assert abs(stats["mean"] - PAPER_TABLE2["mean"]) / PAPER_TABLE2["mean"] < 0.2

@@ -1,0 +1,56 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures at *bench
+scale* (reduced node/object/query counts; see DESIGN.md) and writes the
+rendered table to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be
+assembled from the artefacts.  Timings are collected by pytest-benchmark with
+a single round — the figures are minutes-long simulations, not microbenches.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Bench-scale knobs shared by the figure benchmarks.  Chosen so the whole
+#: suite completes in tens of minutes of pure Python while preserving the
+#: paper's qualitative shape.  Override via environment for bigger runs,
+#: e.g. ``REPRO_BENCH_NODES=256 REPRO_BENCH_OBJECTS=100000``.
+BENCH_NODES = int(os.environ.get("REPRO_BENCH_NODES", "64"))
+BENCH_OBJECTS = int(os.environ.get("REPRO_BENCH_OBJECTS", "10000"))
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "100"))
+BENCH_CORPUS_SCALE = float(os.environ.get("REPRO_BENCH_CORPUS_SCALE", "0.05"))
+
+
+def bench_overrides(**extra):
+    """Figure-config overrides for bench scale."""
+    out = dict(
+        n_nodes=BENCH_NODES,
+        n_objects=BENCH_OBJECTS,
+        n_queries=BENCH_QUERIES,
+        corpus_scale=BENCH_CORPUS_SCALE,
+    )
+    out.update(extra)
+    return out
+
+
+@pytest.fixture
+def save_result():
+    """Write a rendered results table to benchmarks/results/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

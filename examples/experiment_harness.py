@@ -1,0 +1,52 @@
+"""Driving the evaluation harness programmatically.
+
+Shows the pieces the benchmark suite is built from: experiment configs,
+single runs, multi-seed replication with mean ± std, report rendering, and
+the installation self-check.  This is the entry point to copy when designing
+a *new* experiment (see docs/extending.md).
+
+Run:  python examples/experiment_harness.py
+"""
+
+from repro.eval.report import format_sweep, format_table
+from repro.eval.runner import ExperimentConfig, Scheme, run_experiment, run_replicated
+from repro.eval.validate import self_check
+
+
+def main() -> None:
+    # -- 0. self-check ---------------------------------------------------------
+    print(self_check(seed=0))
+
+    # -- 1. a small custom experiment -------------------------------------------
+    cfg = ExperimentConfig(
+        kind="synthetic",
+        n_nodes=24,
+        n_objects=2000,
+        n_queries=30,
+        sample_size=300,
+        schemes=(Scheme("Greedy-4", "greedy", 4), Scheme("Kmean-4", "kmeans", 4)),
+        range_factors=(0.02, 0.05, 0.10),
+        load_balance=False,
+        pns=False,
+        seed=7,
+    )
+    result = run_experiment(cfg)
+    print("\n== single run ==")
+    print(format_sweep(result, metrics=("recall", "total_bytes", "index_nodes")))
+
+    # -- 2. replicate over seeds for error bars -----------------------------------
+    rep = run_replicated(cfg, n_seeds=3)
+    print("\n== 3-seed replication (mean ± std of recall) ==")
+    rows = []
+    for i, rf in enumerate(cfg.range_factors):
+        row = [f"{rf*100:g}%"]
+        for scheme in cfg.schemes:
+            mu = rep.mean[scheme.label]["recall"][i]
+            sd = rep.std[scheme.label]["recall"][i]
+            row.append(f"{mu:.2f}±{sd:.2f}")
+        rows.append(row)
+    print(format_table(["range%"] + [s.label for s in cfg.schemes], rows))
+
+
+if __name__ == "__main__":
+    main()

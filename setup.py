@@ -1,0 +1,9 @@
+"""Legacy setup shim: the environment's setuptools lacks the `wheel` package,
+so PEP-517 editable installs fail; `pip install -e . --no-use-pep517` (or
+plain `python setup.py develop`) uses this file instead.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,117 @@
+"""repro — a landmark-based index architecture for general similarity search
+in peer-to-peer networks.
+
+A faithful, self-contained reproduction of Yang & Hu (IPPS 2007): a
+distributed similarity-search index on top of a Chord DHT, supporting any
+metric-space dataset through landmark projection, locality-preserving
+k-d hashing, embedded-tree range-query routing and static/dynamic load
+balancing — plus the simulation substrate (discrete-event network, Chord
+with PNS, King-like latency model) and the full evaluation harness.
+
+Quick start::
+
+    import numpy as np
+    from repro import ChordRing, IndexPlatform, EuclideanMetric
+    from repro.sim import king_latency_model
+
+    latency = king_latency_model(n_hosts=64, seed=0)
+    ring = ChordRing.build(64, m=32, seed=0, latency=latency, pns=True)
+    platform = IndexPlatform(ring)
+
+    data = np.random.default_rng(0).uniform(0, 100, size=(5000, 16))
+    metric = EuclideanMetric(box=(0, 100), dim=16)
+    platform.create_index("demo", data, metric, k=5, selection="kmeans")
+
+    results = platform.query("demo", data[0], radius=40.0)
+    for entry in results:
+        print(entry.object_id, entry.distance)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core import (
+    IndexPlatform,
+    IndexSpace,
+    IndexSpaceBounds,
+    LandmarkIndex,
+    LandmarkSet,
+    NaiveProtocol,
+    QueryPayload,
+    QueryProtocol,
+    RangeQuery,
+    Rect,
+    dynamic_load_migration,
+    greedy_selection,
+    kmeans_selection,
+    kmedoids_selection,
+    lp_hash,
+    lp_hash_batch,
+    query_split,
+    select_landmarks,
+)
+from repro.dht import ChordNode, ChordRing
+from repro.metric import (
+    AngularMetric,
+    BoundedMetric,
+    ChebyshevMetric,
+    EditDistanceMetric,
+    EuclideanMetric,
+    HammingMetric,
+    HausdorffMetric,
+    ManhattanMetric,
+    Metric,
+    MetricSpace,
+    MinkowskiMetric,
+    ScaledMetric,
+    SparseAngularMetric,
+)
+from repro.io import load_index, save_index
+from repro.sim import Simulator, StatsCollector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # platform / core
+    "IndexPlatform",
+    "LandmarkIndex",
+    "QueryProtocol",
+    "NaiveProtocol",
+    "QueryPayload",
+    "RangeQuery",
+    "Rect",
+    "query_split",
+    "IndexSpace",
+    "IndexSpaceBounds",
+    "LandmarkSet",
+    "greedy_selection",
+    "kmeans_selection",
+    "kmedoids_selection",
+    "select_landmarks",
+    "lp_hash",
+    "lp_hash_batch",
+    "dynamic_load_migration",
+    # DHT
+    "ChordNode",
+    "ChordRing",
+    # metrics
+    "Metric",
+    "MetricSpace",
+    "MinkowskiMetric",
+    "EuclideanMetric",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "AngularMetric",
+    "SparseAngularMetric",
+    "EditDistanceMetric",
+    "HammingMetric",
+    "HausdorffMetric",
+    "BoundedMetric",
+    "ScaledMetric",
+    # simulation
+    "Simulator",
+    "StatsCollector",
+    "save_index",
+    "load_index",
+]

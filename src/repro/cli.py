@@ -1,0 +1,172 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro fig2 [--scale bench|paper] [--nodes N] [--objects N]
+                          [--queries N] [--out results.txt]
+    python -m repro fig3 ...
+    python -m repro fig4 ...
+    python -m repro fig5 ...
+    python -m repro fig6 ...
+    python -m repro table1
+    python -m repro table2 [--corpus-scale F]
+    python -m repro quickstart
+
+The figure commands print the same tables the benchmark suite saves under
+``benchmarks/results/``; ``--scale paper`` runs the authors' full parameters
+(slow in pure Python).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Landmark-based P2P similarity-search index (IPPS 2007) — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_experiment(name: str, help_: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_)
+        p.add_argument("--scale", choices=("bench", "paper"), default="bench")
+        p.add_argument("--nodes", type=int, default=None, help="override overlay size")
+        p.add_argument("--objects", type=int, default=None, help="override dataset size")
+        p.add_argument("--queries", type=int, default=None, help="override query count")
+        p.add_argument("--corpus-scale", type=float, default=None, help="TREC corpus fraction")
+        p.add_argument("--seed", type=int, default=None)
+        p.add_argument("--out", type=str, default=None, help="also write the table to this file")
+        return p
+
+    add_experiment("fig2", "synthetic sweep, no load balancing")
+    add_experiment("fig3", "synthetic sweep, with dynamic load balancing")
+    add_experiment("fig4", "load distribution on nodes (synthetic, with LB)")
+    add_experiment("fig5", "TREC-like sweep, greedy vs k-means (with LB)")
+    add_experiment("fig6", "TREC-like load distribution (with LB)")
+
+    t1 = sub.add_parser("table1", help="synthetic dataset parameters")
+    t1.add_argument("--objects", type=int, default=10_000)
+    t1.add_argument("--out", type=str, default=None)
+
+    t2 = sub.add_parser("table2", help="document vector size distribution")
+    t2.add_argument("--corpus-scale", type=float, default=0.05)
+    t2.add_argument("--out", type=str, default=None)
+
+    sub.add_parser("quickstart", help="run the quickstart example")
+    check = sub.add_parser("check", help="run the installation self-check battery")
+    check.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _overrides(args) -> dict:
+    out = {}
+    if args.nodes is not None:
+        out["n_nodes"] = args.nodes
+    if args.objects is not None:
+        out["n_objects"] = args.objects
+    if args.queries is not None:
+        out["n_queries"] = args.queries
+    if getattr(args, "corpus_scale", None) is not None:
+        out["corpus_scale"] = args.corpus_scale
+    if args.seed is not None:
+        out["seed"] = args.seed
+    return out
+
+
+def _emit(text: str, out_path: "str | None") -> None:
+    print(text)
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"[written to {out_path}]")
+
+
+def _run_figure(args) -> None:
+    from repro.eval import experiments as ex
+    from repro.eval.report import format_load_distribution, format_sweep
+    from repro.eval.runner import run_experiment
+
+    cfgf = {
+        "fig2": ex.figure2_config,
+        "fig3": ex.figure3_config,
+        "fig4": ex.figure4_config,
+        "fig5": ex.figure5_config,
+        "fig6": ex.figure6_config,
+    }[args.command]
+    overrides = _overrides(args)
+    if args.command in ("fig4", "fig6"):
+        overrides.setdefault("range_factors", (0.05,))
+    cfg = cfgf(scale=args.scale, **overrides)
+    result = run_experiment(cfg)
+    if args.command in ("fig4", "fig6"):
+        text = format_load_distribution(result, top_n=10)
+    else:
+        text = format_sweep(result)
+    _emit(f"[{args.command}] {cfgf.__doc__.strip().splitlines()[0]}\n\n{text}", args.out)
+
+
+def _run_table1(args) -> None:
+    import numpy as np
+
+    from repro.datasets.synthetic import generate_clustered, paper_table1_config
+    from repro.eval.report import format_table
+
+    cfg = paper_table1_config(n_objects=args.objects)
+    data, centers = generate_clustered(cfg, seed=0)
+    rows = [
+        ["Dimension", 100, data.shape[1]],
+        ["Range of each dimension", "[0..100]", f"[{data.min():.0f}..{data.max():.0f}]"],
+        ["Number of clusters", 10, centers.shape[0]],
+        ["Deviation of each cluster", 20, round(float((data - centers[((data[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2).argmin(axis=1)]).std()), 1)],
+        ["Objects", "1e5", data.shape[0]],
+    ]
+    _emit(format_table(["parameter", "paper", "measured"], rows, title="Table 1"), args.out)
+
+
+def _run_table2(args) -> None:
+    from repro.datasets.documents import (
+        PAPER_TABLE2,
+        SyntheticCorpusConfig,
+        generate_corpus,
+        vector_size_stats,
+    )
+    from repro.eval.report import format_table
+
+    cfg = SyntheticCorpusConfig().scaled(args.corpus_scale)
+    corpus = generate_corpus(cfg, seed=0)
+    stats = vector_size_stats(corpus.doc_sizes)
+    rows = [[k, PAPER_TABLE2[k], round(stats[k], 1)] for k in PAPER_TABLE2]
+    _emit(format_table(["statistic", "paper", "measured"], rows, title="Table 2"), args.out)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point (``python -m repro ...``)."""
+    args = build_parser().parse_args(argv)
+    if args.command in ("fig2", "fig3", "fig4", "fig5", "fig6"):
+        _run_figure(args)
+    elif args.command == "table1":
+        _run_table1(args)
+    elif args.command == "table2":
+        _run_table2(args)
+    elif args.command == "quickstart":
+        import runpy
+        from pathlib import Path
+
+        script = Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+        runpy.run_path(str(script), run_name="__main__")
+    elif args.command == "check":
+        from repro.eval.validate import self_check
+
+        result = self_check(seed=args.seed)
+        print(result)
+        return 0 if result.ok else 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,177 @@
+"""Locality-preserving hashing of the index space (paper §3.2, Algorithm 2).
+
+The k-dimensional index space is partitioned k-d-tree style into ``2^m``
+equally sized hypercuboids, dividing dimensions alternately — the ``i``-th
+division splits dimension ``j = (i - 1) mod k`` — for ``m`` total divisions
+(``m`` = identifier bits of Chord, 64 in the paper).  A cuboid's key spells
+its division choices: picking the *higher half* on the ``i``-th division sets
+bit ``i`` (counted from the left) to 1.  The paper's tie rule is strict
+(``point[j] > mid`` → high half), so a coordinate exactly on a split plane
+belongs to the lower cell.
+
+Nearby index points share long key prefixes, so Chord's successor mapping
+sends them to the same or neighbouring nodes — that is the locality the range
+queries exploit.
+
+This module also provides the inverse geometry (key/prefix → cuboid) and the
+*smallest enclosing prefix* of a query rectangle, used to initialise the
+``(prefix_key, prefix_length)`` of a range query (§3.3, figure 1a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.index_space import IndexSpaceBounds
+from repro.util.bits import bit_at
+
+__all__ = [
+    "lp_hash",
+    "lp_hash_batch",
+    "prefix_to_cuboid",
+    "key_to_cuboid",
+    "dimension_range",
+    "smallest_enclosing_prefix",
+]
+
+
+def lp_hash(point: np.ndarray, bounds: IndexSpaceBounds, m: int) -> int:
+    """Algorithm 2: hash one index point to its ``m``-bit cuboid key.
+
+    Reference scalar implementation — the batch version below is the hot
+    path.  Coordinates are assumed clipped into ``bounds``.
+    """
+    point = np.asarray(point, dtype=np.float64)
+    k = bounds.k
+    if point.shape != (k,):
+        raise ValueError(f"point shape {point.shape} != ({k},)")
+    lo = bounds.lows.copy()
+    hi = bounds.highs.copy()
+    key = 0
+    for i in range(1, m + 1):
+        j = (i - 1) % k
+        mid = (lo[j] + hi[j]) / 2.0
+        if point[j] > mid:
+            lo[j] = mid
+            key = (key << 1) | 1
+        else:
+            hi[j] = mid
+            key = key << 1
+    return key
+
+
+def lp_hash_batch(points: np.ndarray, bounds: IndexSpaceBounds, m: int) -> np.ndarray:
+    """Vectorised Algorithm 2 over ``(n, k)`` points.
+
+    Runs the same ``m`` halving steps but across all points at once; exact
+    bit-for-bit agreement with :func:`lp_hash` (same floating-point midpoint
+    sequence).  Returns ``uint64`` keys (``m <= 64``).
+    """
+    if m > 64:
+        raise ValueError("lp_hash_batch supports identifier sizes up to 64 bits")
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != bounds.k:
+        raise ValueError(f"points must be (n, {bounds.k}); got {pts.shape}")
+    n, k = pts.shape
+    lo = np.broadcast_to(bounds.lows, (n, k)).copy()
+    hi = np.broadcast_to(bounds.highs, (n, k)).copy()
+    keys = np.zeros(n, dtype=np.uint64)
+    one = np.uint64(1)
+    for i in range(1, m + 1):
+        j = (i - 1) % k
+        mid = (lo[:, j] + hi[:, j]) * 0.5
+        high_half = pts[:, j] > mid
+        lo[high_half, j] = mid[high_half]
+        hi[~high_half, j] = mid[~high_half]
+        keys = (keys << one) | high_half.astype(np.uint64)
+    return keys
+
+
+def dimension_range(
+    prefix_key: int,
+    upto: int,
+    dim: int,
+    bounds: IndexSpaceBounds,
+    m: int,
+) -> "tuple[float, float]":
+    """Range of dimension ``dim`` of the cuboid spelled by bits ``1..upto``.
+
+    Replays the divisions that hit ``dim`` among the first ``upto`` bits of
+    ``prefix_key`` — the loop at the top of Algorithm 4 (QuerySplit), which
+    reconstructs ``R`` before computing the split midpoint.
+    """
+    k = bounds.k
+    lo = float(bounds.lows[dim])
+    hi = float(bounds.highs[dim])
+    # Divisions on dimension `dim` are i = dim+1, dim+1+k, dim+1+2k, ...
+    i = dim + 1
+    while i <= upto:
+        mid = (lo + hi) / 2.0
+        if bit_at(prefix_key, i, m):
+            lo = mid
+        else:
+            hi = mid
+        i += k
+    return lo, hi
+
+
+def prefix_to_cuboid(
+    prefix_key: int,
+    prefix_len: int,
+    bounds: IndexSpaceBounds,
+    m: int,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """The hypercuboid (lows, highs) addressed by a prefix of length ``prefix_len``."""
+    k = bounds.k
+    lo = bounds.lows.copy()
+    hi = bounds.highs.copy()
+    for i in range(1, prefix_len + 1):
+        j = (i - 1) % k
+        mid = (lo[j] + hi[j]) / 2.0
+        if bit_at(prefix_key, i, m):
+            lo[j] = mid
+        else:
+            hi[j] = mid
+    return lo, hi
+
+
+def key_to_cuboid(key: int, bounds: IndexSpaceBounds, m: int) -> "tuple[np.ndarray, np.ndarray]":
+    """The leaf hypercuboid of a full ``m``-bit key."""
+    return prefix_to_cuboid(key, m, bounds, m)
+
+
+def smallest_enclosing_prefix(
+    lows: np.ndarray,
+    highs: np.ndarray,
+    bounds: IndexSpaceBounds,
+    m: int,
+) -> "tuple[int, int]":
+    """Smallest hypercuboid completely holding the query region (figure 1a).
+
+    Descends the recursive partition while the query rectangle fits entirely
+    within one half; returns ``(prefix_key, prefix_length)`` with the prefix
+    zero-padded to ``m`` bits.  Containment follows the hash's tie rule:
+    the lower half is ``[lo, mid]`` (closed) and the higher half ``(mid, hi]``,
+    so a query touching ``mid`` from above only fits the higher half if its
+    low end is strictly greater than ``mid``.
+    """
+    k = bounds.k
+    lo_r = np.asarray(lows, dtype=np.float64).copy()
+    hi_r = np.asarray(highs, dtype=np.float64).copy()
+    lo = bounds.lows.copy()
+    hi = bounds.highs.copy()
+    key = 0
+    length = 0
+    for i in range(1, m + 1):
+        j = (i - 1) % k
+        mid = (lo[j] + hi[j]) / 2.0
+        if lo_r[j] > mid:  # entire query in the higher half
+            key = (key << 1) | 1
+            lo[j] = mid
+        elif hi_r[j] <= mid:  # entire query in the lower half (mid inclusive)
+            key = key << 1
+            hi[j] = mid
+        else:
+            break
+        length = i
+    return key << (m - length), length

@@ -1,0 +1,511 @@
+"""The multi-index platform: index construction, distribution and querying.
+
+This is the public face of the architecture.  An :class:`IndexPlatform`
+wraps a Chord ring and hosts any number of :class:`LandmarkIndex` instances
+— the paper's headline feature is that one overlay supports "arbitrary
+number of indexes on different data types" with *no per-index routing
+structures*: queries ride the trees already embedded in the DHT links.
+
+Index construction follows §3.1: a well-known node samples the network's
+data, selects landmarks (greedy / k-means / k-medoids), fixes the index-space
+boundary (from the metric or from the sample), projects every object to its
+landmark-distance vector, hashes it with the locality-preserving hash and
+stores the entry on the Chord successor of the (optionally rotated) key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.index_space import IndexSpace
+from repro.core.landmarks import LandmarkSet, select_landmarks
+from repro.core.lph import lp_hash_batch
+from repro.core.query import RangeQuery
+from repro.core.routing import QueryProtocol
+from repro.core.storage import Shard
+from repro.dht.hashing import rotation_offset
+from repro.dht.ring import ChordRing
+from repro.metric.base import Metric
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsCollector
+from repro.util.rng import as_rng
+
+__all__ = ["QueryPayload", "LandmarkIndex", "IndexPlatform", "take"]
+
+
+def take(dataset: Any, idx) -> Any:
+    """Index a dataset that may be an ndarray, CSR matrix or plain sequence."""
+    if sparse.issparse(dataset) or isinstance(dataset, np.ndarray):
+        return dataset[idx]
+    if np.ndim(idx) == 0:
+        return dataset[int(idx)]
+    return [dataset[int(i)] for i in np.atleast_1d(idx)]
+
+
+@dataclass
+class QueryPayload:
+    """What a query carries besides its rectangle: the query object and its
+    index point (used by index nodes for candidate refinement)."""
+
+    obj: Any
+    ipoint: np.ndarray
+
+
+class LandmarkIndex:
+    """One distributed index: landmark space + entry placement + refinement.
+
+    Attributes
+    ----------
+    name:
+        Index name; also the seed of its rotation offset.
+    space:
+        The :class:`repro.core.index_space.IndexSpace` (landmarks + bounds).
+    rotation:
+        The static load-balancing offset ``φ`` (0 when rotation is off).
+    shards:
+        ``ChordNode -> Shard`` mapping of stored entries.
+    refine_mode:
+        ``"true"`` — refine candidates by true metric distance to the query
+        object (the paper's refinement step);
+        ``"index"`` — refine by Euclidean distance in index space (cheaper,
+        no object access; a contractive lower bound of the true distance).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        space: IndexSpace,
+        ring: ChordRing,
+        dataset: Any,
+        rotation: int = 0,
+        refine_mode: str = "true",
+        replication: int = 1,
+    ):
+        if refine_mode not in ("true", "index"):
+            raise ValueError(f"unknown refine_mode {refine_mode!r}")
+        if replication < 1:
+            raise ValueError("replication factor must be >= 1")
+        self.name = name
+        self.space = space
+        self.ring = ring
+        self.dataset = dataset
+        self.rotation = int(rotation)
+        self.refine_mode = refine_mode
+        #: entries are stored on the owner plus the next ``replication - 1``
+        #: successors.  Replicas carry keys outside their holder's ownership
+        #: interval, so the claimed-key-range filter of query resolution
+        #: ignores them while the primary is alive — and serves them
+        #: automatically once the ring repairs around a failed owner.
+        self.replication = int(replication)
+        self.m = ring.m
+        self.k = space.k
+        self.bounds = space.bounds
+        self.metric = space.landmark_set.metric
+        self.shards: "dict[Any, Shard]" = {}
+        self._keys: "np.ndarray | None" = None
+        self._points: "np.ndarray | None" = None
+        self._object_ids: "np.ndarray | None" = None
+        self._owner_objs: "np.ndarray | None" = None
+
+    # -- construction -----------------------------------------------------------
+
+    def build(self) -> None:
+        """Project the dataset, hash it, and distribute entries to owners."""
+        points = self.space.project(self.dataset)
+        self._points = points
+        self._keys = lp_hash_batch(points, self.bounds, self.m)
+        n = points.shape[0]
+        self._object_ids = np.arange(n, dtype=np.int64)
+        self.distribute()
+
+    def rotated_keys(self) -> np.ndarray:
+        """Ring keys of all entries: LPH keys shifted by the rotation offset."""
+        mask = np.uint64((1 << self.m) - 1)
+        return (self._keys + np.uint64(self.rotation)) & mask
+
+    def distribute(self) -> "int":
+        """(Re)assign all entries to their current owners.
+
+        Returns the number of entries that changed node, which is the
+        migration volume of a load-balancing step.
+        """
+        if self._keys is None:
+            raise RuntimeError("call build() first")
+        owners = self.ring.owners_of_keys(self.rotated_keys())
+        nodes = self.ring.nodes()
+        node_arr = np.empty(len(nodes), dtype=object)
+        node_arr[:] = nodes
+        new_owner_objs = node_arr[owners]
+        if self._owner_objs is None:
+            moved = 0
+        else:
+            moved = int(np.count_nonzero(new_owner_objs != self._owner_objs))
+        self._owner_objs = new_owner_objs
+        order = np.argsort(owners, kind="stable")
+        sorted_owners = owners[order]
+        bounds_idx = np.searchsorted(sorted_owners, np.arange(len(nodes) + 1))
+        self.shards = {node: Shard(self.k) for node in nodes}
+        n_nodes = len(nodes)
+        copies = min(self.replication, n_nodes)
+        for i, node in enumerate(nodes):
+            sel = order[bounds_idx[i] : bounds_idx[i + 1]]
+            if not len(sel):
+                continue
+            for c in range(copies):
+                holder = nodes[(i + c) % n_nodes]
+                self.shards[holder].add(
+                    self._keys[sel], self._points[sel], self._object_ids[sel]
+                )
+        return moved
+
+    # -- dynamic entries (used by repro.core.updates) ------------------------------
+
+    def append_entry(self, object_id: int, point: np.ndarray, key: int) -> None:
+        """Add one entry to the global arrays and redistribute.
+
+        ``object_id`` must index into ``dataset`` (the object itself must
+        already exist there).
+        """
+        self._keys = np.concatenate([self._keys, np.array([key], dtype=np.uint64)])
+        self._points = np.vstack([self._points, np.asarray(point, dtype=np.float64)[None, :]])
+        self._object_ids = np.concatenate(
+            [self._object_ids, np.array([object_id], dtype=np.int64)]
+        )
+        self._owner_objs = None  # placement cache invalidated
+        self.distribute()
+
+    def remove_entry(self, object_id: int) -> "int | None":
+        """Remove the entry of ``object_id``; returns its LPH key or None."""
+        pos = np.flatnonzero(self._object_ids == object_id)
+        if pos.size == 0:
+            return None
+        p = int(pos[0])
+        key = int(self._keys[p])
+        keep = np.ones(len(self._keys), dtype=bool)
+        keep[p] = False
+        self._keys = self._keys[keep]
+        self._points = self._points[keep]
+        self._object_ids = self._object_ids[keep]
+        self._owner_objs = None
+        self.distribute()
+        return key
+
+    # -- failure handling -----------------------------------------------------------
+
+    def surviving_object_ids(self) -> np.ndarray:
+        """Distinct object ids still stored on some live node's shard."""
+        ids = [s.object_ids for s in self.shards.values() if len(s)]
+        if not ids:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(ids))
+
+    def rebuild_from_shards(self) -> int:
+        """Re-replication after failures: rebuild the entry set from the
+        union of surviving shards and redistribute (restoring the configured
+        replication factor).  Returns the number of entries lost for good.
+        """
+        before = len(self._keys)
+        keys, points, oids = [], [], []
+        seen: set = set()
+        for shard in self.shards.values():
+            for j in range(len(shard)):
+                oid = int(shard.object_ids[j])
+                if oid in seen:
+                    continue
+                seen.add(oid)
+                keys.append(shard.keys[j])
+                points.append(shard.points[j])
+                oids.append(oid)
+        self._keys = np.asarray(keys, dtype=np.uint64)
+        self._points = (
+            np.asarray(points, dtype=np.float64)
+            if points
+            else np.empty((0, self.k))
+        )
+        self._object_ids = np.asarray(oids, dtype=np.int64)
+        self._owner_objs = None
+        self.distribute()
+        return before - len(self._keys)
+
+    # -- querying ------------------------------------------------------------------
+
+    def make_query(
+        self,
+        obj: Any,
+        radius: float,
+        qid: "int | None" = None,
+    ) -> RangeQuery:
+        """Convert a near-neighbour query ``(obj, radius)`` to its range query."""
+        ipoint = self.space.project_one(obj)
+        return RangeQuery.from_point(
+            ipoint,
+            radius,
+            self.bounds,
+            self.m,
+            index_name=self.name,
+            payload=QueryPayload(obj=obj, ipoint=ipoint),
+            qid=qid,
+        )
+
+    def refine_distances(self, q: RangeQuery, points: np.ndarray, object_ids: np.ndarray) -> np.ndarray:
+        """Distances used to refine range-search candidates at an index node.
+
+        ``"index"`` mode ranks by the Chebyshev (L∞) distance between index
+        points — the contractive lower bound of the true distance implied by
+        the triangle inequality, so it never over-estimates.
+        """
+        if self.refine_mode == "index":
+            return np.abs(points - q.payload.ipoint).max(axis=1)
+        return self.metric.one_to_many(q.payload.obj, take(self.dataset, object_ids))
+
+    # -- introspection ------------------------------------------------------------------
+
+    def load_distribution(self) -> np.ndarray:
+        """Index entries per node, in ring order (Figures 4 and 6).
+
+        Counts replicas too — they cost storage.  Nodes that joined after
+        the last distribution hold nothing yet.
+        """
+        empty = Shard(self.k)
+        return np.asarray(
+            [self.shards.get(n, empty).load for n in self.ring.nodes()], dtype=np.int64
+        )
+
+    def total_entries(self) -> int:
+        return 0 if self._keys is None else len(self._keys)
+
+    def filtering_score(self, sample: Any, seed: "int | np.random.Generator | None" = 0, pairs: int = 500) -> float:
+        """How well the landmark projection preserves distances on a sample.
+
+        Mean ratio of the contractive lower bound (L∞ in index space) to the
+        true distance over random pairs, in [0, 1]; higher means tighter
+        filtering.  Used by landmark regeneration (§6 future work) to decide
+        whether a candidate landmark set beats the current one.
+        """
+        rng = as_rng(seed)
+        n = sample.shape[0] if hasattr(sample, "shape") else len(sample)
+        a = rng.integers(0, n, size=pairs)
+        b = rng.integers(0, n, size=pairs)
+        keep = a != b
+        a, b = a[keep], b[keep]
+        pa = self.space.project(take(sample, a))
+        pb = self.space.project(take(sample, b))
+        lower = np.abs(pa - pb).max(axis=1)
+        true = np.asarray(
+            [self.metric.distance(take(sample, int(x)), take(sample, int(y))) for x, y in zip(a, b)]
+        )
+        ok = true > 0
+        if not ok.any():
+            return 0.0
+        return float(np.mean(np.minimum(lower[ok] / true[ok], 1.0)))
+
+
+class IndexPlatform:
+    """A Chord overlay hosting multiple landmark indexes.
+
+    Parameters
+    ----------
+    ring:
+        The overlay; build one with :meth:`ChordRing.build`.
+    latency:
+        Latency model shared with the ring (may be None for structural runs).
+    sim:
+        Discrete-event simulator (created on demand).
+    """
+
+    def __init__(
+        self,
+        ring: ChordRing,
+        latency=None,
+        sim: "Simulator | None" = None,
+    ):
+        self.ring = ring
+        self.latency = latency if latency is not None else ring.latency
+        self.sim = sim or Simulator()
+        self.indexes: "dict[str, LandmarkIndex]" = {}
+
+    # -- index lifecycle -------------------------------------------------------------
+
+    def create_index(
+        self,
+        name: str,
+        dataset: Any,
+        metric: Metric,
+        k: int = 10,
+        selection: str = "greedy",
+        sample_size: int = 2000,
+        boundary: str = "metric",
+        rotation: bool = False,
+        refine_mode: str = "true",
+        replication: int = 1,
+        seed: "int | np.random.Generator | None" = 0,
+    ) -> LandmarkIndex:
+        """Build and distribute a new index (§3.1's initiation procedure).
+
+        ``sample_size`` objects are sampled for landmark selection (paper:
+        2000 for the synthetic dataset, 3000 for TREC); ``boundary`` picks
+        the index-space bounding strategy; ``rotation`` enables the static
+        load-balancing offset.
+        """
+        if name in self.indexes:
+            raise ValueError(f"index {name!r} already exists")
+        rng = as_rng(seed)
+        n = dataset.shape[0] if hasattr(dataset, "shape") else len(dataset)
+        sample_idx = rng.choice(n, size=min(sample_size, n), replace=False)
+        sample = take(dataset, sample_idx)
+        lset = select_landmarks(selection, sample, metric, k, rng)
+        space = IndexSpace.build(lset, boundary=boundary, sample=sample)
+        rot = rotation_offset(name, self.ring.m) if rotation else 0
+        index = LandmarkIndex(
+            name, space, self.ring, dataset, rotation=rot,
+            refine_mode=refine_mode, replication=replication,
+        )
+        index.build()
+        self.indexes[name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        """Remove an index and free its shards."""
+        del self.indexes[name]
+
+    def reindex(
+        self,
+        name: str,
+        selection: "str | None" = None,
+        sample_size: int = 2000,
+        threshold: float = 0.02,
+        seed: "int | np.random.Generator | None" = 1,
+    ) -> "dict[str, float]":
+        """Landmark regeneration for dynamic datasets (paper §6, future work).
+
+        Selects a candidate landmark set, scores old vs new by
+        :meth:`LandmarkIndex.filtering_score` on a fresh sample, and adopts
+        the new set when it wins by more than ``threshold``.  Returns a
+        report including whether adoption happened and how many entries
+        migrated.
+        """
+        index = self.indexes[name]
+        rng = as_rng(seed)
+        n = index.dataset.shape[0] if hasattr(index.dataset, "shape") else len(index.dataset)
+        sample_idx = rng.choice(n, size=min(sample_size, n), replace=False)
+        sample = take(index.dataset, sample_idx)
+        scheme = selection or index.space.landmark_set.scheme
+        new_set = select_landmarks(scheme, sample, index.metric, index.k, rng)
+        boundary = "metric" if index.metric.is_bounded else "sample"
+        new_space = IndexSpace.build(new_set, boundary=boundary, sample=sample)
+        candidate = LandmarkIndex(
+            name, new_space, self.ring, index.dataset,
+            rotation=index.rotation, refine_mode=index.refine_mode,
+            replication=index.replication,
+        )
+        old_score = index.filtering_score(sample, rng)
+        new_score = candidate.filtering_score(sample, rng)
+        report = {"old_score": old_score, "new_score": new_score, "adopted": 0.0, "moved": 0.0}
+        if new_score > old_score * (1.0 + threshold):
+            candidate.build()
+            self.indexes[name] = candidate
+            report["adopted"] = 1.0
+            report["moved"] = float(candidate.total_entries())
+        return report
+
+    # -- querying --------------------------------------------------------------------
+
+    def protocol(
+        self,
+        name: str,
+        stats: "StatsCollector | None" = None,
+        **kwargs: Any,
+    ) -> "tuple[QueryProtocol, StatsCollector]":
+        """A query protocol bound to one index (kwargs forwarded to it)."""
+        # note: an empty StatsCollector is falsy (len == 0), so test identity
+        stats = stats if stats is not None else StatsCollector()
+        proto = QueryProtocol(
+            self.sim, self.indexes[name], stats, latency=self.latency, **kwargs
+        )
+        return proto, stats
+
+    def run_workload(
+        self,
+        name: str,
+        workload,
+        reset_sim: bool = True,
+        **protocol_kwargs: Any,
+    ) -> StatsCollector:
+        """Issue a :class:`repro.datasets.queries.QueryWorkload` and run to quiescence.
+
+        Query ``qid`` equals the workload position, so ground-truth joins are
+        positional.  Returns the stats collector (per-query costs + merged
+        result entries).
+        """
+        if reset_sim:
+            self.sim.reset()
+        proto, stats = self.protocol(name, **protocol_kwargs)
+        index = self.indexes[name]
+        nodes = self.ring.nodes()
+        for i in range(len(workload)):
+            obj = take(workload.points, i)
+            q = index.make_query(obj, float(workload.radii[i]), qid=i)
+            node = nodes[int(workload.source_nodes[i]) % len(nodes)]
+            proto.issue(q, node, at_time=float(workload.arrival_times[i]))
+        self.sim.run()
+        return stats
+
+    def query(
+        self,
+        name: str,
+        obj: Any,
+        radius: float,
+        source_node=None,
+        top_k: int = 10,
+        **protocol_kwargs: Any,
+    ) -> "list":
+        """One-shot similarity query; returns merged, deduplicated results.
+
+        Results are ``ResultEntry`` objects sorted by distance (closest
+        first), at most ``top_k`` of them.
+        """
+        proto, stats = self.protocol(name, top_k=top_k, **protocol_kwargs)
+        index = self.indexes[name]
+        node = source_node or self.ring.nodes()[0]
+        q = index.make_query(obj, radius)
+        proto.issue(q, node)
+        self.sim.run()
+        st = stats.for_query(q.qid)
+        best: "dict[int, float]" = {}
+        for e in st.entries:
+            if e.object_id not in best or e.distance < best[e.object_id]:
+                best[e.object_id] = e.distance
+        from repro.sim.messages import ResultEntry
+
+        merged = [ResultEntry(oid, d) for oid, d in best.items()]
+        merged.sort(key=lambda e: e.distance)
+        return merged[:top_k]
+
+    # -- failure injection --------------------------------------------------------------
+
+    def fail_node(self, node) -> None:
+        """Crash a node: every entry it stored (primaries and replicas)
+        vanishes; the ring repairs around it.  Surviving replicas on the new
+        owners keep the dead key ranges answerable — queries need no code
+        path for failover because the claimed-key-range filter serves
+        whatever the current owner stores.
+        """
+        for index in self.indexes.values():
+            index.shards.pop(node, None)
+        self.ring.remove_node(node)
+
+    # -- load ------------------------------------------------------------------------
+
+    def node_load(self, node) -> int:
+        """Total index entries a node stores across all indexes (§3.4's measure)."""
+        return sum(
+            idx.shards[node].load for idx in self.indexes.values() if node in idx.shards
+        )
+
+    def load_distribution(self) -> np.ndarray:
+        """Per-node total load in ring order."""
+        return np.asarray([self.node_load(n) for n in self.ring.nodes()], dtype=np.int64)

@@ -1,0 +1,187 @@
+"""Range-query objects and query splitting (paper §3.3, Algorithm 4).
+
+A near-neighbour query ``(q, r)`` in the metric space becomes the range query
+over the hypercube of side ``2r`` centred at the query's index point, clipped
+to the index-space boundary.  Each in-flight (sub)query carries a
+``(prefix_key, prefix_length)`` identifying the smallest hypercuboid that
+completely holds its region; routing progressively extends the prefix.
+
+``query_split(q, p)`` is Algorithm 4: it reconstructs the splitting range of
+dimension ``j = (p-1) mod k`` from the prefix bits, computes the midpoint,
+and either advances the query wholly into one half (extending the prefix by
+one bit) or splits it into two subqueries, one per half.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.index_space import IndexSpaceBounds
+from repro.core.lph import dimension_range, smallest_enclosing_prefix
+from repro.util.bits import set_bit_at
+
+__all__ = ["Rect", "RangeQuery", "query_split"]
+
+_qid_counter = itertools.count()
+
+
+@dataclass
+class Rect:
+    """An axis-aligned hyper-rectangle in the index space."""
+
+    lows: np.ndarray
+    highs: np.ndarray
+
+    def __post_init__(self):
+        self.lows = np.asarray(self.lows, dtype=np.float64)
+        self.highs = np.asarray(self.highs, dtype=np.float64)
+        if self.lows.shape != self.highs.shape or self.lows.ndim != 1:
+            raise ValueError("rect bounds must be 1-D arrays of equal length")
+
+    @property
+    def k(self) -> int:
+        return len(self.lows)
+
+    def copy(self) -> "Rect":
+        return Rect(self.lows.copy(), self.highs.copy())
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask of index points inside the rectangle (inclusive)."""
+        pts = np.atleast_2d(points)
+        return np.all((pts >= self.lows) & (pts <= self.highs), axis=1)
+
+    def intersects_box(self, lows: np.ndarray, highs: np.ndarray) -> bool:
+        """Whether the rectangle overlaps the (closed) box ``[lows, highs]``."""
+        return bool(np.all(self.lows <= highs) & np.all(self.highs >= lows))
+
+    def is_empty(self) -> bool:
+        """True when some dimension has negative extent."""
+        return bool(np.any(self.highs < self.lows))
+
+    def volume(self) -> float:
+        return float(np.prod(np.maximum(self.highs - self.lows, 0.0)))
+
+
+@dataclass
+class RangeQuery:
+    """One (sub)query in flight: region + routing prefix + provenance.
+
+    Attributes
+    ----------
+    rect:
+        The query region in index space.
+    prefix_key:
+        ``m``-bit key: the prefix padded with zeros (figure 1a).
+    prefix_len:
+        Valid bit count of the prefix.
+    qid:
+        Stable id of the *original* query — subqueries inherit it, which is
+        how per-query cost metrics are aggregated.
+    source:
+        Identifier of the querying node (results return directly to it).
+    index_name:
+        Which index of the multi-index platform this query targets.
+    payload:
+        Opaque reference to the original query object (used by index nodes to
+        refine candidates with true metric distances).
+    """
+
+    rect: Rect
+    prefix_key: int
+    prefix_len: int
+    qid: int
+    source: Any = None
+    index_name: str = "default"
+    payload: Any = None
+    radius: "float | None" = None
+
+    def copy(self) -> "RangeQuery":
+        return RangeQuery(
+            rect=self.rect.copy(),
+            prefix_key=self.prefix_key,
+            prefix_len=self.prefix_len,
+            qid=self.qid,
+            source=self.source,
+            index_name=self.index_name,
+            payload=self.payload,
+            radius=self.radius,
+        )
+
+    @classmethod
+    def from_point(
+        cls,
+        center: np.ndarray,
+        radius: float,
+        bounds: IndexSpaceBounds,
+        m: int,
+        source: Any = None,
+        index_name: str = "default",
+        payload: Any = None,
+        qid: "int | None" = None,
+    ) -> "RangeQuery":
+        """Build the initial query: hypercube of side ``2r`` clipped to bounds.
+
+        Clipping realises the paper's observation that a query point mapped
+        near the boundary searches ``[I_q - r, upper_boundary]`` rather than
+        a full ``2r`` box (§4.3).
+        """
+        center = np.asarray(center, dtype=np.float64)
+        lows = np.maximum(center - radius, bounds.lows)
+        highs = np.minimum(center + radius, bounds.highs)
+        key, length = smallest_enclosing_prefix(lows, highs, bounds, m)
+        return cls(
+            rect=Rect(lows, highs),
+            prefix_key=key,
+            prefix_len=length,
+            qid=next(_qid_counter) if qid is None else qid,
+            source=source,
+            index_name=index_name,
+            payload=payload,
+            radius=float(radius),
+        )
+
+
+def query_split(
+    q: RangeQuery,
+    p: int,
+    bounds: IndexSpaceBounds,
+    m: int,
+) -> "list[RangeQuery]":
+    """Algorithm 4 (QuerySplit): advance/split ``q`` at division position ``p``.
+
+    ``p`` must be ``q.prefix_len + 1`` — the next division of the recursive
+    partition.  Returns one subquery when the region lies wholly in one half
+    (prefix extended by the matching bit) or two complementary subqueries
+    otherwise.  The returned queries all have ``prefix_len == p``.
+    """
+    if not 1 <= p <= m:
+        raise ValueError(f"split position {p} out of range 1..{m}")
+    k = bounds.k
+    j = (p - 1) % k
+    # Reconstruct the dim-j extent of the cuboid addressed by the first
+    # p-1 prefix bits (the while-loop of Algorithm 4).
+    lo, hi = dimension_range(q.prefix_key, p - 1, j, bounds, m)
+    mid = (lo + hi) / 2.0
+    if q.rect.lows[j] > mid:
+        nq = q.copy()
+        nq.prefix_key = set_bit_at(nq.prefix_key, p, m)
+        nq.prefix_len = p
+        return [nq]
+    if q.rect.highs[j] < mid:
+        nq = q.copy()
+        nq.prefix_len = p
+        return [nq]
+    # Straddles the midpoint: split into higher (bit 1) and lower (bit 0)
+    # halves; Algorithm 4 line 22 assigns mid to both new boundaries.
+    nq1 = q.copy()
+    nq2 = q.copy()
+    nq1.rect.lows[j] = mid
+    nq2.rect.highs[j] = mid
+    nq1.prefix_key = set_bit_at(nq1.prefix_key, p, m)
+    nq1.prefix_len = p
+    nq2.prefix_len = p
+    return [nq1, nq2]

@@ -1,0 +1,316 @@
+"""Distributed range-query resolving and routing (paper §3.3, Algorithms 3 & 5).
+
+``QueryProtocol`` drives queries through the simulated Chord overlay:
+
+* **QueryRouting** (Algorithm 3) runs at every node on the propagation path:
+  split the query one partition level deeper (Algorithm 4 via
+  :func:`repro.core.query.query_split`); if both halves would take the same
+  DHT link, keep the query whole — "a query splits into multiple subqueries
+  only when these subqueries need to take different ways on the distributed
+  embedded tree".  Subqueries whose ``next_hop`` is the current node have
+  reached the predecessor of their prefix key and are handed to the
+  *surrogate* (the successor, i.e. the key's owner) for refinement.
+
+* **SurrogateRefine** (Algorithm 5) runs at owner nodes: answer the part of
+  the query the node's ownership interval covers from local storage, carve
+  out the remainder and re-route it.
+
+Two surrogate modes are provided:
+
+``"fixed"`` (default)
+    Decomposes the claimed key range above the node's identifier into the
+    canonical sibling cuboids — one per zero bit of the (rotation-adjusted)
+    identifier, *the same prefixes Algorithm 5's recursion forwards* — but
+    intersects each forwarded rectangle with the full sibling cuboid and
+    answers the locally-owned key range against the whole remaining
+    rectangle.  Identical message pattern and cost; never loses results.
+
+``"literal"``
+    Algorithm 5 exactly as printed.  When a query rectangle still straddles
+    partition planes between ``prefix_len + 1`` and the node's first zero
+    bit, the printed pseudocode re-prefixes the query with the node's 1-bits
+    and can drop the straddling slivers (see DESIGN.md); kept for the
+    fidelity ablation benchmark.
+
+Rotation (static load balancing, §3.4) is applied at the boundary between
+index-key space and ring space: routing targets ``rotate(prefix_key)`` and
+prefix comparisons use the node's *effective* identifier
+``unrotate(node.id)``; rotation is order-preserving on the ring so ownership
+reasoning is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.query import RangeQuery, Rect, query_split
+from repro.core.lph import prefix_to_cuboid
+from repro.sim.messages import ResultEntry, ResultMessage, query_message_size
+from repro.util.bits import first_zero_bit, prefix_of, same_prefix, set_bit_at
+
+__all__ = ["QueryProtocol"]
+
+
+class QueryProtocol:
+    """Event-driven executor of the range-query routing algorithms.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event :class:`repro.sim.engine.Simulator`.
+    index:
+        A distributed landmark index (duck-typed; see
+        :class:`repro.core.platform.LandmarkIndex`): must expose ``m``,
+        ``k``, ``bounds``, ``rotation``, ``shards`` and
+        ``refine_distances``.
+    stats:
+        A :class:`repro.sim.stats.StatsCollector`.
+    latency:
+        Optional latency model; ``None`` makes all messages instantaneous
+        (structural tests).
+    surrogate_mode:
+        ``"fixed"`` or ``"literal"`` (see module docstring).
+    top_k:
+        How many nearest local results an index node returns (paper: 10).
+    range_filter:
+        Refine candidates by true distance and drop those beyond the query
+        radius (the paper's superset refinement).
+    reply_empty:
+        Whether index nodes owning no matching entries still send a (20-byte)
+        reply; needed for the *maximum latency* metric to be observable.
+    """
+
+    def __init__(
+        self,
+        sim,
+        index,
+        stats,
+        latency=None,
+        surrogate_mode: str = "fixed",
+        top_k: int = 10,
+        range_filter: bool = True,
+        reply_empty: bool = True,
+        maintenance=None,
+    ):
+        if surrogate_mode not in ("fixed", "literal"):
+            raise ValueError(f"unknown surrogate_mode {surrogate_mode!r}")
+        self.sim = sim
+        self.index = index
+        self.stats = stats
+        self.latency = latency
+        self.surrogate_mode = surrogate_mode
+        self.top_k = top_k
+        self.range_filter = range_filter
+        self.reply_empty = reply_empty
+        #: optional StabilizationProtocol — query traffic is reported to it
+        #: so maintenance messages can piggyback on these links (§3.3).
+        self.maintenance = maintenance
+
+    # -- key-space helpers ----------------------------------------------------
+
+    def _rotate(self, key: int) -> int:
+        return (key + self.index.rotation) % (1 << self.index.m)
+
+    def _effective_id(self, node) -> int:
+        return (node.id - self.index.rotation) % (1 << self.index.m)
+
+    def _next_hop(self, node, prefix_key: int):
+        return node.next_hop(self._rotate(prefix_key))
+
+    # -- entry points ----------------------------------------------------------
+
+    def issue(self, query: RangeQuery, node, at_time: "float | None" = None) -> None:
+        """Inject ``query`` at ``node`` (optionally at a future simulation time)."""
+        query.source = node
+        st = self.stats.for_query(query.qid)
+        st.issued_at = self.sim.now if at_time is None else at_time
+        if at_time is None:
+            self._query_routing(node, query, 0)
+        else:
+            self.sim.schedule_at(at_time, self._query_routing, node, query, 0)
+
+    # -- Algorithm 3: QueryRouting ---------------------------------------------
+
+    def _query_routing(self, node, q: RangeQuery, hops: int) -> None:
+        if not node.alive:
+            # the issuing node crashed before its scheduled query fired
+            self.stats.for_query(q.qid).dropped_messages += 1
+            return
+        m = self.index.m
+        if q.prefix_len == m:
+            sublist = [q]
+        else:
+            subs = query_split(q, q.prefix_len + 1, self.index.bounds, m)
+            if len(subs) == 1:
+                sublist = subs
+            else:
+                n1 = self._next_hop(node, subs[0].prefix_key)
+                n2 = self._next_hop(node, subs[1].prefix_key)
+                # Same next hop for both halves: deliver unsplit (line 8-9).
+                sublist = [q] if n1 is n2 else subs
+        routing_groups: "dict[Any, list[RangeQuery]]" = {}
+        refine_groups: "dict[Any, list[RangeQuery]]" = {}
+        for sq in sublist:
+            n = self._next_hop(node, sq.prefix_key)
+            if n is node:
+                # This node is the predecessor of the prefix key; the owner
+                # is its successor — the surrogate (lines 16-17).
+                refine_groups.setdefault(node.successor, []).append(sq)
+            else:
+                routing_groups.setdefault(n, []).append(sq)
+        for dest, sqs in routing_groups.items():
+            self._send(node, dest, "routing", sqs, hops)
+        for dest, sqs in refine_groups.items():
+            self._send(node, dest, "refine", sqs, hops)
+
+    # -- message plumbing --------------------------------------------------------
+
+    def _send(self, src, dest, kind: str, sqs: "list[RangeQuery]", hops: int) -> None:
+        """Bundle subqueries sharing a next hop into one message (§4.1 size model)."""
+        if dest is src:
+            # Local hand-off (single-node ring): no network message.
+            self.sim.schedule_in(0.0, self._deliver, dest, kind, sqs, hops)
+            return
+        st = self.stats.for_query(sqs[0].qid)
+        st.record_query_message(query_message_size(len(sqs), self.index.k))
+        if self.maintenance is not None:
+            self.maintenance.note_query_traffic(src.host, dest.host)
+        delay = self.latency.latency(src.host, dest.host) if self.latency else 0.0
+        self.sim.schedule_in(delay, self._deliver, dest, kind, sqs, hops + 1)
+
+    def _deliver(self, dest, kind: str, sqs: "list[RangeQuery]", hops: int) -> None:
+        if not dest.alive:
+            # The destination crashed while the message was in flight; the
+            # whole bundle is lost (churn simulations measure this).
+            self.stats.for_query(sqs[0].qid).dropped_messages += 1
+            return
+        for sq in sqs:
+            if kind == "routing":
+                self._query_routing(dest, sq, hops)
+            else:
+                self._surrogate_refine(dest, sq, hops)
+
+    # -- Algorithm 5: SurrogateRefine ----------------------------------------------
+
+    def _surrogate_refine(self, node, q: RangeQuery, hops: int) -> None:
+        if self.surrogate_mode == "fixed":
+            self._surrogate_refine_fixed(node, q, hops)
+        else:
+            self._surrogate_refine_literal(node, q, hops)
+
+    def _claimed_range(self, q: RangeQuery) -> "tuple[int, int]":
+        """The key interval of the cuboid a subquery claims."""
+        span = 1 << (self.index.m - q.prefix_len)
+        return q.prefix_key, q.prefix_key + span - 1
+
+    def _surrogate_refine_fixed(self, node, q: RangeQuery, hops: int) -> None:
+        m = self.index.m
+        eff = self._effective_id(node)
+        key_lo, key_hi = self._claimed_range(q)
+        if not same_prefix(q.prefix_key, eff, q.prefix_len, m):
+            # The node's identifier lies beyond the claimed cuboid, so its
+            # ownership interval swallows the whole claimed key range.
+            self._solve_local(node, q, hops, key_lo, key_hi)
+            return
+        j = first_zero_bit(eff, q.prefix_len + 1, m)
+        if j is None:
+            # eff is the maximal key of the cuboid: full coverage again.
+            self._solve_local(node, q, hops, key_lo, key_hi)
+            return
+        # The node owns [key_lo, eff]; answer that slice of the rectangle.
+        self._solve_local(node, q, hops, key_lo, eff)
+        # Keys in (eff, key_hi] decompose into the canonical sibling cuboids
+        # at each zero bit of eff — the prefixes Algorithm 5 forwards.
+        jj: "int | None" = j
+        while jj is not None:
+            sib_prefix = set_bit_at(prefix_of(eff, jj - 1, m), jj, m)
+            lows, highs = prefix_to_cuboid(sib_prefix, jj, self.index.bounds, m)
+            nl = np.maximum(q.rect.lows, lows)
+            nh = np.minimum(q.rect.highs, highs)
+            if np.all(nl <= nh):
+                sq = RangeQuery(
+                    rect=Rect(nl, nh),
+                    prefix_key=sib_prefix,
+                    prefix_len=jj,
+                    qid=q.qid,
+                    source=q.source,
+                    index_name=q.index_name,
+                    payload=q.payload,
+                    radius=q.radius,
+                )
+                self._query_routing(node, sq, hops)
+            jj = first_zero_bit(eff, jj + 1, m)
+
+    def _surrogate_refine_literal(self, node, q: RangeQuery, hops: int) -> None:
+        m = self.index.m
+        eff = self._effective_id(node)
+        key_lo, key_hi = self._claimed_range(q)
+        if not same_prefix(q.prefix_key, eff, q.prefix_len, m):
+            self._solve_local(node, q, hops, key_lo, key_hi)  # lines 1-3
+            return
+        j = first_zero_bit(eff, q.prefix_len + 1, m)
+        if j is None:
+            self._solve_local(node, q, hops, key_lo, key_hi)  # lines 6-8
+            return
+        nq = q.copy()
+        nq.prefix_key = prefix_of(eff, j - 1, m)  # line 10
+        nq.prefix_len = j - 1  # line 11
+        for sq in query_split(nq, j, self.index.bounds, m):  # line 12
+            if same_prefix(sq.prefix_key, eff, sq.prefix_len, m):
+                self._surrogate_refine_literal(node, sq, hops)  # line 15
+            else:
+                self._query_routing(node, sq, hops)  # line 17
+
+    # -- local resolution ------------------------------------------------------------
+
+    def _solve_local(self, node, q: RangeQuery, hops: int, key_lo: int, key_hi: int) -> None:
+        """Answer the (rect x key-range) slice from local storage and reply.
+
+        Index nodes return their ``top_k`` nearest results after refining the
+        candidate superset with true distances (paper §4.1: "each queried
+        index node returns the 10-nearest local results").
+        """
+        st = self.stats.for_query(q.qid)
+        st.record_index_node(node.id, hops)
+        entries: "list[ResultEntry]" = []
+        shard = self.index.shards.get(node)
+        if shard is not None and len(shard):
+            pos = shard.range_search(q.rect.lows, q.rect.highs, key_lo, key_hi)
+            if len(pos):
+                object_ids = shard.object_ids[pos]
+                dists = self.index.refine_distances(q, shard.points[pos], object_ids)
+                if self.range_filter and q.radius is not None:
+                    keep = dists <= q.radius
+                    object_ids = object_ids[keep]
+                    dists = dists[keep]
+                if len(object_ids) > self.top_k:
+                    nearest = np.argpartition(dists, self.top_k)[: self.top_k]
+                    object_ids = object_ids[nearest]
+                    dists = dists[nearest]
+                entries = [
+                    ResultEntry(int(oid), float(d)) for oid, d in zip(object_ids, dists)
+                ]
+        if entries or self.reply_empty:
+            self._reply(node, q, entries)
+
+    def _reply(self, node, q: RangeQuery, entries: "list[ResultEntry]") -> None:
+        msg = ResultMessage(q.qid, entries, from_node=node.id)
+        st = self.stats.for_query(q.qid)
+        if q.source is node:
+            st.record_result_message(0, self.sim.now)
+            st.entries.extend(entries)
+            return
+        if self.maintenance is not None:
+            self.maintenance.note_query_traffic(node.host, q.source.host)
+        delay = self.latency.latency(node.host, q.source.host) if self.latency else 0.0
+        self.sim.schedule_in(delay, self._arrive_result, q.qid, msg, q.source)
+
+    def _arrive_result(self, qid: int, msg: ResultMessage, source=None) -> None:
+        st = self.stats.for_query(qid)
+        if source is not None and not source.alive:
+            st.dropped_messages += 1
+            return
+        st.record_result_message(msg.size, self.sim.now)
+        st.entries.extend(msg.entries)

@@ -1,0 +1,212 @@
+"""SCRAP-style baseline: space-filling-curve mapping + 1-d interval queries.
+
+SCRAP [11] ("One torus to rule them all", §5 of the paper) maps the
+multi-dimensional space to one dimension with a space-filling curve and
+resolves range queries as a set of 1-d key intervals routed to their owners.
+This module reproduces that design on our Chord substrate so the paper's
+embedded-tree routing can be compared against it quantitatively:
+
+* :class:`SfcIndex` re-keys an existing landmark index's entries by Morton
+  or Hilbert curve position (same index space, same refinement — only the
+  1-d mapping differs);
+* :class:`SfcRangeProtocol` decomposes a query rectangle into curve-key
+  intervals (:func:`repro.core.sfc.decompose_rect_to_intervals`), routes
+  each interval to the owner of its start key via a Chord lookup, and walks
+  successors across the interval.
+
+The trade-off this exposes: Hilbert fragments rectangles into fewer
+intervals than Morton (continuity), but *every* interval costs an O(log n)
+lookup plus a successor walk, whereas the paper's embedded-tree routing
+shares prefixes across subqueries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.query import RangeQuery
+from repro.core.sfc import (
+    decompose_rect_to_intervals,
+    hilbert_encode,
+    morton_encode,
+    quantize,
+)
+from repro.core.storage import Shard
+from repro.dht.idspace import in_interval_open_closed
+from repro.sim.messages import ResultEntry, ResultMessage, query_message_size
+
+__all__ = ["SfcIndex", "SfcRangeProtocol"]
+
+_CURVES = {"morton": morton_encode, "hilbert": hilbert_encode}
+
+
+class SfcIndex:
+    """A landmark index re-keyed by space-filling-curve position.
+
+    Built from an existing :class:`repro.core.platform.LandmarkIndex`
+    (sharing its index space, dataset and refinement); entries are placed on
+    the Chord successor of their curve key, scaled into the ``m``-bit ring by
+    a left shift.
+    """
+
+    def __init__(self, landmark_index, p: "int | None" = None, curve: str = "hilbert"):
+        if curve not in _CURVES:
+            raise ValueError(f"unknown curve {curve!r} (use 'morton'/'hilbert')")
+        self.base = landmark_index
+        self.ring = landmark_index.ring
+        self.m = landmark_index.m
+        self.k = landmark_index.k
+        self.bounds = landmark_index.bounds
+        self.curve = curve
+        self.encode = _CURVES[curve]
+        max_p = self.m // self.k
+        self.p = min(p, max_p) if p is not None else min(8, max_p)
+        if self.p < 1:
+            raise ValueError(f"m={self.m} too small for {self.k} dimensions")
+        #: ring key = curve key << shift
+        self.shift = self.m - self.k * self.p
+        self.shards: "dict[object, Shard]" = {}
+        self._build()
+
+    def _build(self) -> None:
+        points = self.base._points
+        cells = quantize(points, self.bounds.lows, self.bounds.highs, self.p)
+        curve_keys = self.encode(cells, self.p)
+        ring_keys = curve_keys << np.uint64(self.shift)
+        owners = self.ring.owners_of_keys(ring_keys)
+        nodes = self.ring.nodes()
+        order = np.argsort(owners, kind="stable")
+        bounds_idx = np.searchsorted(owners[order], np.arange(len(nodes) + 1))
+        self.shards = {}
+        for i, node in enumerate(nodes):
+            sel = order[bounds_idx[i] : bounds_idx[i + 1]]
+            shard = Shard(self.k)
+            if len(sel):
+                shard.add(ring_keys[sel], points[sel], self.base._object_ids[sel])
+            self.shards[node] = shard
+
+    def refine_distances(self, q, points, object_ids):
+        """Delegates candidate refinement to the underlying landmark index."""
+        return self.base.refine_distances(q, points, object_ids)
+
+    def query_intervals(self, rect, max_intervals: int = 4096) -> "list[tuple[int, int]]":
+        """Ring-key intervals covering the rectangle (scaled curve intervals).
+
+        Adaptively coarsens the decomposition when a fine one would exceed
+        ``max_intervals`` — coarser intervals are supersets, which only cost
+        extra traffic (the rectangle filter at solve time keeps results
+        exact).  High-dimensional fragmentation is the documented weakness of
+        SFC interval routing.
+        """
+        lo_cells = quantize(rect.lows[None, :], self.bounds.lows, self.bounds.highs, self.p)[0]
+        hi_cells = quantize(rect.highs[None, :], self.bounds.lows, self.bounds.highs, self.p)[0]
+        for level in range(self.p, 0, -1):
+            try:
+                raw = decompose_rect_to_intervals(
+                    lo_cells, hi_cells, self.k, self.p, self.encode,
+                    max_intervals=max_intervals, max_level=level,
+                )
+                break
+            except RuntimeError:
+                continue
+        else:
+            raw = [(0, (1 << (self.k * self.p)) - 1)]
+        return [
+            (a << self.shift, ((b + 1) << self.shift) - 1) for a, b in raw
+        ]
+
+    def load_distribution(self) -> np.ndarray:
+        empty = Shard(self.k)
+        return np.asarray(
+            [self.shards.get(n, empty).load for n in self.ring.nodes()], dtype=np.int64
+        )
+
+
+class SfcRangeProtocol:
+    """Route a rectangle's curve intervals to their owner chains.
+
+    Mirrors the cost interface of :class:`repro.core.routing.QueryProtocol`
+    (same :class:`StatsCollector` semantics) so the comparison benches can
+    treat both uniformly.
+    """
+
+    def __init__(self, sim, index: SfcIndex, stats, latency=None, top_k: int = 10,
+                 range_filter: bool = True, reply_empty: bool = True):
+        self.sim = sim
+        self.index = index
+        self.stats = stats
+        self.latency = latency
+        self.top_k = top_k
+        self.range_filter = range_filter
+        self.reply_empty = reply_empty
+
+    def issue(self, query: RangeQuery, node, at_time: "float | None" = None) -> None:
+        query.source = node
+        st = self.stats.for_query(query.qid)
+        st.issued_at = self.sim.now if at_time is None else at_time
+        if at_time is None:
+            self._issue_now(node, query)
+        else:
+            self.sim.schedule_at(at_time, self._issue_now, node, query)
+
+    def _issue_now(self, node, query: RangeQuery) -> None:
+        for key_lo, key_hi in self.index.query_intervals(query.rect):
+            self._route_interval(node, query, key_lo, key_hi)
+
+    def _route_interval(self, node, q: RangeQuery, key_lo: int, key_hi: int) -> None:
+        st = self.stats.for_query(q.qid)
+        path = self.index.ring.lookup_path(node, key_lo)
+        arrival = self.sim.now
+        hops = 0
+        for prev, nxt in zip(path[:-1], path[1:]):
+            st.record_query_message(query_message_size(1, self.index.k))
+            arrival += self.latency.latency(prev.host, nxt.host) if self.latency else 0.0
+            hops += 1
+        owner = path[-1]
+        # walk successors across the interval
+        m = self.index.m
+        while True:
+            self.sim.schedule_at(
+                max(arrival, self.sim.now),
+                self._solve_local, owner, q, hops, key_lo, key_hi,
+            )
+            if in_interval_open_closed(key_hi, owner.predecessor.id, owner.id, m):
+                break
+            nxt = owner.successor
+            if nxt is owner:
+                break
+            st.record_query_message(query_message_size(1, self.index.k))
+            arrival += self.latency.latency(owner.host, nxt.host) if self.latency else 0.0
+            hops += 1
+            owner = nxt
+
+    def _solve_local(self, node, q: RangeQuery, hops: int, key_lo: int, key_hi: int) -> None:
+        st = self.stats.for_query(q.qid)
+        st.record_index_node(node.id, hops)
+        entries: "list[ResultEntry]" = []
+        shard = self.index.shards.get(node)
+        if shard is not None and len(shard):
+            pos = shard.range_search(q.rect.lows, q.rect.highs, key_lo, key_hi)
+            if len(pos):
+                object_ids = shard.object_ids[pos]
+                dists = self.index.refine_distances(q, shard.points[pos], object_ids)
+                if self.range_filter and q.radius is not None:
+                    keep = dists <= q.radius
+                    object_ids, dists = object_ids[keep], dists[keep]
+                if len(object_ids) > self.top_k:
+                    nearest = np.argpartition(dists, self.top_k)[: self.top_k]
+                    object_ids, dists = object_ids[nearest], dists[nearest]
+                entries = [ResultEntry(int(o), float(d)) for o, d in zip(object_ids, dists)]
+        if entries or self.reply_empty:
+            msg = ResultMessage(q.qid, entries, from_node=node.id)
+            if q.source is node:
+                st.record_result_message(0, self.sim.now)
+                st.entries.extend(entries)
+                return
+            delay = self.latency.latency(node.host, q.source.host) if self.latency else 0.0
+            self.sim.schedule_in(delay, self._arrive, q.qid, msg)
+
+    def _arrive(self, qid: int, msg: ResultMessage) -> None:
+        st = self.stats.for_query(qid)
+        st.record_result_message(msg.size, self.sim.now)
+        st.entries.extend(msg.entries)

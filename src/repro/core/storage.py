@@ -1,0 +1,89 @@
+"""Per-node index-entry storage.
+
+Each overlay node stores, for every index it participates in, the entries
+whose (rotated) keys fall in its ownership interval.  An entry is
+``(key, index_point, object_id)``; keys are stored *unrotated* (pure LPH
+output) because query prefixes live in unrotated space — rotation is applied
+only when deciding ownership/routing.
+
+Shards hold columnar NumPy arrays **sorted by key**: the claimed-key-range
+filter of query resolution then reduces to two ``searchsorted`` calls and the
+rectangle mask runs only over the candidate slice — profiling the query loop
+showed the full-shard mask dominating local solve time on hot shards (see
+``bench_perf_microbench.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Shard"]
+
+
+class Shard:
+    """Columnar store of the index entries held by one node for one index.
+
+    Invariant: ``keys`` is non-decreasing; ``points``/``object_ids`` are
+    aligned with it.
+    """
+
+    __slots__ = ("keys", "points", "object_ids")
+
+    def __init__(self, k: int):
+        self.keys = np.empty(0, dtype=np.uint64)
+        self.points = np.empty((0, k), dtype=np.float64)
+        self.object_ids = np.empty(0, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def load(self) -> int:
+        """The paper's load measure: number of index entries stored."""
+        return len(self.keys)
+
+    def add(self, keys: np.ndarray, points: np.ndarray, object_ids: np.ndarray) -> None:
+        """Append a batch of entries, re-establishing key order."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        new_keys = np.concatenate([self.keys, keys])
+        new_points = np.vstack([self.points, np.asarray(points, dtype=np.float64)])
+        new_ids = np.concatenate([self.object_ids, np.asarray(object_ids, dtype=np.int64)])
+        order = np.argsort(new_keys, kind="stable")
+        self.keys = new_keys[order]
+        self.points = new_points[order]
+        self.object_ids = new_ids[order]
+
+    def clear(self) -> None:
+        k = self.points.shape[1]
+        self.keys = np.empty(0, dtype=np.uint64)
+        self.points = np.empty((0, k), dtype=np.float64)
+        self.object_ids = np.empty(0, dtype=np.int64)
+
+    def range_search(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        key_lo: "int | None" = None,
+        key_hi: "int | None" = None,
+    ) -> np.ndarray:
+        """Positions of entries inside the rectangle (and key range, if given).
+
+        The key-range filter restricts to the subquery's *claimed* cuboid key
+        interval, which both prevents double counting when one node is
+        surrogate for several sibling subqueries of the same query, and —
+        thanks to the sorted-key invariant — narrows the rectangle test to a
+        contiguous slice.
+        """
+        n = len(self.keys)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        start, stop = 0, n
+        if key_lo is not None:
+            start = int(np.searchsorted(self.keys, np.uint64(key_lo), side="left"))
+        if key_hi is not None:
+            stop = int(np.searchsorted(self.keys, np.uint64(key_hi), side="right"))
+        if start >= stop:
+            return np.empty(0, dtype=np.int64)
+        pts = self.points[start:stop]
+        mask = np.all((pts >= lows) & (pts <= highs), axis=1)
+        return np.flatnonzero(mask) + start

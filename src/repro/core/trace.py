@@ -1,0 +1,140 @@
+"""Query execution tracing: record the routing tree of a single query.
+
+Wraps a :class:`repro.core.routing.QueryProtocol` and captures every
+QueryRouting / SurrogateRefine invocation and every local resolution as
+:class:`TraceEvent` records.  Useful for debugging routing behaviour, for
+teaching (the trace *is* the embedded tree of §3.3), and for asserting
+structural properties in tests (e.g. prefix lengths never decrease along a
+path; every solved leaf's key range is disjoint from its siblings').
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.routing import QueryProtocol
+from repro.util.bits import key_to_bits
+
+__all__ = ["TraceEvent", "QueryTrace", "TracingProtocol"]
+
+
+@dataclass
+class TraceEvent:
+    """One step of a query's distributed execution."""
+
+    kind: str  # "route" | "refine" | "solve"
+    node_id: int
+    node_name: str
+    prefix_key: int
+    prefix_len: int
+    hops: int
+    time: float
+    #: for "solve": the claimed key interval answered locally
+    key_lo: "int | None" = None
+    key_hi: "int | None" = None
+    #: for "solve": number of entries returned
+    results: int = 0
+
+    def prefix_bits(self, m: int) -> str:
+        """The event's prefix as a bit string (only the valid bits)."""
+        return key_to_bits(self.prefix_key, m)[: self.prefix_len]
+
+
+@dataclass
+class QueryTrace:
+    """All events of one traced query, in execution order."""
+
+    qid: int
+    events: "list[TraceEvent]" = field(default_factory=list)
+
+    def solves(self) -> "list[TraceEvent]":
+        return [e for e in self.events if e.kind == "solve"]
+
+    def routes(self) -> "list[TraceEvent]":
+        return [e for e in self.events if e.kind == "route"]
+
+    def refines(self) -> "list[TraceEvent]":
+        return [e for e in self.events if e.kind == "refine"]
+
+    def nodes_visited(self) -> "set[int]":
+        return {e.node_id for e in self.events}
+
+    def max_prefix_len(self) -> int:
+        return max((e.prefix_len for e in self.events), default=0)
+
+    def render(self, m: int, limit: int = 50) -> str:
+        """Human-readable listing of the execution."""
+        lines = [f"query {self.qid}: {len(self.events)} events"]
+        for e in self.events[:limit]:
+            extra = ""
+            if e.kind == "solve":
+                extra = f" -> {e.results} results, keys [{e.key_lo:#x}..{e.key_hi:#x}]"
+            lines.append(
+                f"  t={e.time:8.3f} h={e.hops} {e.kind:6s} @{e.node_name:10s} "
+                f"prefix={e.prefix_bits(m) or '(root)'}{extra}"
+            )
+        if len(self.events) > limit:
+            lines.append(f"  ... {len(self.events) - limit} more")
+        return "\n".join(lines)
+
+
+class TracingProtocol(QueryProtocol):
+    """A :class:`QueryProtocol` that additionally records execution traces."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.traces: "dict[int, QueryTrace]" = {}
+
+    def _trace(self, qid: int) -> QueryTrace:
+        if qid not in self.traces:
+            self.traces[qid] = QueryTrace(qid=qid)
+        return self.traces[qid]
+
+    def _query_routing(self, node, q, hops):
+        self._trace(q.qid).events.append(
+            TraceEvent(
+                kind="route",
+                node_id=node.id,
+                node_name=node.name,
+                prefix_key=q.prefix_key,
+                prefix_len=q.prefix_len,
+                hops=hops,
+                time=self.sim.now,
+            )
+        )
+        super()._query_routing(node, q, hops)
+
+    def _surrogate_refine(self, node, q, hops):
+        self._trace(q.qid).events.append(
+            TraceEvent(
+                kind="refine",
+                node_id=node.id,
+                node_name=node.name,
+                prefix_key=q.prefix_key,
+                prefix_len=q.prefix_len,
+                hops=hops,
+                time=self.sim.now,
+            )
+        )
+        super()._surrogate_refine(node, q, hops)
+
+    def _solve_local(self, node, q, hops, key_lo, key_hi):
+        before = len(self.stats.for_query(q.qid).entries)
+        super()._solve_local(node, q, hops, key_lo, key_hi)
+        # entries may have been delivered locally (source == node) or queued;
+        # count what the solve contributed when observable, else leave 0.
+        after = len(self.stats.for_query(q.qid).entries)
+        self._trace(q.qid).events.append(
+            TraceEvent(
+                kind="solve",
+                node_id=node.id,
+                node_name=node.name,
+                prefix_key=q.prefix_key,
+                prefix_len=q.prefix_len,
+                hops=hops,
+                time=self.sim.now,
+                key_lo=key_lo,
+                key_hi=key_hi,
+                results=max(after - before, 0),
+            )
+        )

@@ -1,0 +1,51 @@
+"""Workload substrates: the paper's synthetic and TREC-like datasets plus
+string/shape generators for the additional metric-space examples.
+"""
+
+from repro.datasets.documents import (
+    PAPER_TABLE2,
+    DocumentCorpus,
+    SyntheticCorpusConfig,
+    generate_corpus,
+    generate_topics,
+    vector_size_stats,
+)
+from repro.datasets.queries import (
+    PAPER_RANGE_FACTORS,
+    QueryWorkload,
+    poisson_arrivals,
+    repeat_topics,
+    synthetic_query_points,
+)
+from repro.datasets.shapes import ShapeFamilyConfig, generate_shapes
+from repro.datasets.strings import SequenceFamilyConfig, generate_sequences, mutate
+from repro.datasets.timeseries import TimeSeriesFamilyConfig, generate_timeseries
+from repro.datasets.synthetic import (
+    ClusteredGaussianConfig,
+    generate_clustered,
+    paper_table1_config,
+)
+
+__all__ = [
+    "ClusteredGaussianConfig",
+    "generate_clustered",
+    "paper_table1_config",
+    "SyntheticCorpusConfig",
+    "DocumentCorpus",
+    "generate_corpus",
+    "generate_topics",
+    "vector_size_stats",
+    "PAPER_TABLE2",
+    "QueryWorkload",
+    "poisson_arrivals",
+    "synthetic_query_points",
+    "repeat_topics",
+    "PAPER_RANGE_FACTORS",
+    "SequenceFamilyConfig",
+    "generate_sequences",
+    "mutate",
+    "ShapeFamilyConfig",
+    "TimeSeriesFamilyConfig",
+    "generate_timeseries",
+    "generate_shapes",
+]

@@ -1,0 +1,64 @@
+"""Consistent hashing of node names and index names to the identifier ring.
+
+Chord assigns node identifiers by hashing (the paper: "Chord uses consistent
+hashing, e.g. SHA-1, to map nodes to the identifier space"), which makes node
+ids essentially uniform on the ring.  The same machinery provides the
+*random rotation offset* ``φ`` of the static load-balancing scheme (§3.4):
+``φ`` is obtained "by hashing (random hashing function) the name of the
+corresponding index".
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.util.rng import as_rng
+
+__all__ = ["hash_to_id", "node_id", "rotation_offset", "random_ids"]
+
+
+def hash_to_id(data: bytes, m: int) -> int:
+    """SHA-1 of ``data`` truncated to the top ``m`` bits."""
+    digest = hashlib.sha1(data).digest()
+    value = int.from_bytes(digest, "big")
+    return value >> (160 - m) if m <= 160 else value << (m - 160)
+
+
+def node_id(name: str, m: int) -> int:
+    """Identifier of a node named ``name`` (e.g. ``"node-17"`` or an IP)."""
+    return hash_to_id(name.encode("utf-8"), m)
+
+
+def rotation_offset(index_name: str, m: int) -> int:
+    """The static load-balancing rotation ``φ`` for an index (§3.4).
+
+    A distinct salt keeps ``φ`` independent of any node that happens to share
+    the index's name.
+    """
+    return hash_to_id(b"rotation:" + index_name.encode("utf-8"), m)
+
+
+def random_ids(n: int, m: int, seed: "int | np.random.Generator | None" = 0) -> np.ndarray:
+    """``n`` distinct uniform identifiers (uint64), for synthetic rings."""
+    rng = as_rng(seed)
+    if m > 64:
+        raise ValueError("random_ids supports m <= 64")
+    size = 1 << m
+    if n > size:
+        raise ValueError(f"cannot draw {n} distinct ids from a {m}-bit space")
+    ids = set()
+    out = np.empty(n, dtype=np.uint64)
+    filled = 0
+    while filled < n:
+        batch = rng.integers(0, size, size=n - filled, dtype=np.uint64)
+        for v in batch:
+            iv = int(v)
+            if iv not in ids:
+                ids.add(iv)
+                out[filled] = v
+                filled += 1
+                if filled == n:
+                    break
+    return out

@@ -1,0 +1,50 @@
+"""Circular identifier-space arithmetic for Chord (``m``-bit ring).
+
+All identifiers live in ``[0, 2**m)``; the ring wraps.  The interval helpers
+use the half-open/closed conventions of the Chord paper: a key ``x`` belongs
+to node ``n`` iff ``x ∈ (predecessor(n), n]``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "in_interval_open",
+    "in_interval_open_closed",
+    "in_interval_closed_open",
+    "cw_distance",
+]
+
+
+def cw_distance(a: int, b: int, m: int) -> int:
+    """Clockwise distance from ``a`` to ``b`` on the ``2**m`` ring."""
+    return (b - a) % (1 << m)
+
+
+def in_interval_open(x: int, a: int, b: int, m: int) -> bool:
+    """``x ∈ (a, b)`` on the ring.  Empty when ``a == b``? No — by Chord
+    convention ``(a, a)`` is the *full* ring minus ``a`` (wraps all the way)."""
+    size = 1 << m
+    x, a, b = x % size, a % size, b % size
+    if a == b:
+        return x != a
+    return cw_distance(a, x, m) > 0 and cw_distance(a, x, m) < cw_distance(a, b, m)
+
+
+def in_interval_open_closed(x: int, a: int, b: int, m: int) -> bool:
+    """``x ∈ (a, b]`` on the ring (ownership interval: successor owns it)."""
+    size = 1 << m
+    x, a, b = x % size, a % size, b % size
+    if a == b:
+        return True  # single node owns the whole ring
+    d_ax = cw_distance(a, x, m)
+    return 0 < d_ax <= cw_distance(a, b, m)
+
+
+def in_interval_closed_open(x: int, a: int, b: int, m: int) -> bool:
+    """``x ∈ [a, b)`` on the ring (finger-candidate interval)."""
+    size = 1 << m
+    x, a, b = x % size, a % size, b % size
+    if a == b:
+        return True
+    d_ax = cw_distance(a, x, m)
+    return d_ax < cw_distance(a, b, m)

@@ -1,0 +1,121 @@
+"""A Chord node: identifier, routing state and next-hop selection.
+
+The routing table follows the paper's footnote 4: it is "composed of a
+finger table, a successor list and the current node itself", and the
+``next_hop`` of a key is "the one from the routing table whose identifier is
+immediately before the prefix_key of the query on the ring" — i.e. the
+closest *preceding* table entry, which is exactly Chord's greedy forwarding
+rule.  When ``next_hop`` returns the node itself, the node is (in its view)
+the predecessor of the key and the key's owner is its successor — Algorithm 3
+then invokes ``SurrogateRefine`` on the successor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.dht.idspace import cw_distance, in_interval_open_closed
+
+__all__ = ["ChordNode"]
+
+
+class ChordNode:
+    """One overlay node.
+
+    Attributes
+    ----------
+    id:
+        ``m``-bit identifier (int).
+    name:
+        Human-readable name the id was hashed from.
+    host:
+        Endpoint index into the latency model (its "IP address").
+    fingers:
+        ``fingers[i]`` is the first node clockwise of ``id + 2**i``
+        (``i = 0 .. m-1``); with PNS enabled it is instead the lowest-latency
+        node whose identifier lies in ``[id + 2**i, id + 2**(i+1))``.
+    successors:
+        The next ``r`` nodes clockwise (paper default r = 16).
+    predecessor:
+        The node immediately counter-clockwise.
+    """
+
+    __slots__ = (
+        "id",
+        "name",
+        "host",
+        "m",
+        "fingers",
+        "successors",
+        "predecessor",
+        "load_hint",
+        "alive",
+    )
+
+    def __init__(self, node_id: int, m: int, name: str = "", host: int = 0):
+        self.id = int(node_id)
+        self.m = m
+        self.name = name or f"node-{node_id:x}"
+        self.host = host
+        self.fingers: "list[ChordNode]" = []
+        self.successors: "list[ChordNode]" = []
+        self.predecessor: "Optional[ChordNode]" = None
+        #: piggybacked load information about neighbours (§3.4); maps node id
+        #: to the last load value heard.
+        self.load_hint: "dict[int, float]" = {}
+        #: liveness flag used by the churn/stabilisation simulation.
+        self.alive: bool = True
+
+    def __repr__(self) -> str:
+        return f"ChordNode({self.name}, id={self.id:#x})"
+
+    # -- routing -------------------------------------------------------------
+
+    @property
+    def successor(self) -> "ChordNode":
+        """Immediate successor (first entry of the successor list)."""
+        if not self.successors:
+            return self
+        return self.successors[0]
+
+    def routing_table(self) -> "Iterable[ChordNode]":
+        """Finger table + successor list + self (footnote 4)."""
+        seen = {self.id}
+        yield self
+        for n in self.fingers:
+            if n.id not in seen:
+                seen.add(n.id)
+                yield n
+        for n in self.successors:
+            if n.id not in seen:
+                seen.add(n.id)
+                yield n
+
+    def next_hop(self, key: int) -> "ChordNode":
+        """Closest table entry strictly preceding ``key`` on the ring.
+
+        Returns ``self`` when no table entry is closer to the key than this
+        node — meaning this node believes itself the key's predecessor.
+        Entries whose identifier *equals* the key are never returned (the
+        owner is reached via its predecessor's successor pointer).
+        """
+        target = cw_distance(self.id, key, self.m)
+        if target == 0:
+            # key == self.id: route the full ring to reach our predecessor.
+            target = 1 << self.m
+        best = self
+        best_d = 0
+        for cand in self.routing_table():
+            if cand.id == key:
+                continue
+            d = cw_distance(self.id, cand.id, self.m)
+            if d < target and d > best_d:
+                best, best_d = cand, d
+        return best
+
+    def owns(self, key: int) -> bool:
+        """Whether ``key`` lies in this node's ownership interval
+        ``(predecessor, self]``."""
+        if self.predecessor is None or self.predecessor is self:
+            return True
+        return in_interval_open_closed(key, self.predecessor.id, self.id, self.m)

@@ -1,0 +1,257 @@
+"""A Pastry DHT substrate (Rowstron & Druschel [17]).
+
+The paper notes its techniques "are also applicable to other DHTs such as
+Pastry and Tapestry".  This module supplies the substrate half of that
+claim: prefix-digit routing with leaf sets and proximity-aware routing
+tables, so lookups and entry placement can run on Pastry and be compared
+against Chord/Chord-PNS (``bench_ablation_dht_substrates.py``).  Porting the
+*range-query* embedded-tree algorithms (which exploit Chord's
+successor/predecessor geometry) is intentionally out of scope — the paper
+never specifies that mapping.
+
+Identifiers are ``m``-bit integers viewed as ``m/b`` digits of base ``2^b``
+(Pastry's default ``b = 4`` → hex digits).  A key is owned by the
+*numerically closest* node on the (cyclic) identifier space.  Routing:
+
+1. if the key's owner candidate lies within the leaf set (or is this node),
+   deliver to the numerically closest member;
+2. otherwise forward to the routing-table entry matching one more digit of
+   the key than this node does;
+3. otherwise (empty table cell) forward to any known node at least as good
+   in prefix length and numerically closer — Pastry's rare-case rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dht.hashing import node_id
+from repro.sim.network import LatencyModel
+from repro.util.rng import as_rng
+
+__all__ = ["PastryNode", "PastryRing", "cyclic_distance"]
+
+
+def cyclic_distance(a: int, b: int, m: int) -> int:
+    """min(|a-b|, 2^m - |a-b|): numeric closeness on the wrapped id space."""
+    d = abs(a - b) % (1 << m)
+    return min(d, (1 << m) - d)
+
+
+class PastryNode:
+    """One Pastry node: digit-indexed routing table + leaf set."""
+
+    __slots__ = (
+        "id", "name", "host", "m", "b", "routing_table", "leaf_set",
+        "cw_span", "ccw_span",
+    )
+
+    def __init__(self, node_id_: int, m: int, b: int, name: str = "", host: int = 0):
+        self.id = int(node_id_)
+        self.m = m
+        self.b = b
+        self.name = name or f"pastry-{node_id_:x}"
+        self.host = host
+        #: routing_table[row][col] — row = shared-digit count, col = digit value
+        self.routing_table: "list[list[PastryNode | None]]" = []
+        #: numerically nearest neighbours, both directions, merged
+        self.leaf_set: "list[PastryNode]" = []
+        #: ring distance to the furthest leaf clockwise / counter-clockwise
+        self.cw_span: int = 0
+        self.ccw_span: int = 0
+
+    def __repr__(self) -> str:
+        return f"PastryNode({self.name}, id={self.id:#x})"
+
+    def digit(self, position: int) -> int:
+        """Digit ``position`` (0 = most significant) of this node's id."""
+        n_digits = self.m // self.b
+        shift = (n_digits - 1 - position) * self.b
+        return (self.id >> shift) & ((1 << self.b) - 1)
+
+
+def _key_digit(key: int, position: int, m: int, b: int) -> int:
+    n_digits = m // b
+    shift = (n_digits - 1 - position) * b
+    return (key >> shift) & ((1 << b) - 1)
+
+
+def _shared_digits(a: int, b_: int, m: int, b: int) -> int:
+    n_digits = m // b
+    for i in range(n_digits):
+        if _key_digit(a, i, m, b) != _key_digit(b_, i, m, b):
+            return i
+    return n_digits
+
+
+class PastryRing:
+    """Global view of a Pastry overlay, built structurally (steady state).
+
+    Parameters
+    ----------
+    m:
+        Identifier bits; must be a multiple of ``b``.
+    b:
+        Digit width (default 4 → hexadecimal digits, Pastry's default).
+    leaf_set_size:
+        Total leaf-set size ``L`` (``L/2`` on each side; default 16).
+    latency:
+        Optional latency model; when given, routing-table cells hold the
+        *physically closest* candidate (Pastry's proximity heuristic).
+    """
+
+    def __init__(
+        self,
+        m: int = 64,
+        b: int = 4,
+        leaf_set_size: int = 16,
+        latency: "LatencyModel | None" = None,
+    ):
+        if m % b != 0:
+            raise ValueError(f"m={m} must be a multiple of the digit width b={b}")
+        self.m = m
+        self.b = b
+        self.leaf_set_size = leaf_set_size
+        self.latency = latency
+        self.nodes_by_id: "dict[int, PastryNode]" = {}
+        self._sorted_ids: "list[int]" = []
+
+    def __len__(self) -> int:
+        return len(self.nodes_by_id)
+
+    def nodes(self) -> "list[PastryNode]":
+        return [self.nodes_by_id[i] for i in self._sorted_ids]
+
+    @classmethod
+    def build(
+        cls,
+        n_nodes: int,
+        m: int = 64,
+        b: int = 4,
+        seed: "int | np.random.Generator | None" = 0,
+        latency: "LatencyModel | None" = None,
+        leaf_set_size: int = 16,
+    ) -> "PastryRing":
+        """Construct a converged ring of ``n_nodes`` (SHA-1 node ids)."""
+        rng = as_rng(seed)
+        ring = cls(m=m, b=b, leaf_set_size=leaf_set_size, latency=latency)
+        seen: set = set()
+        i = salt = 0
+        while len(ring.nodes_by_id) < n_nodes:
+            nid = node_id(f"pastry-{i}-{salt}", m)
+            if nid in seen:
+                salt += 1
+                continue
+            seen.add(nid)
+            host = int(rng.integers(0, latency.n_hosts)) if latency is not None else i
+            ring.nodes_by_id[nid] = PastryNode(nid, m, b, name=f"pastry-{i}", host=host)
+            i += 1
+        ring._sorted_ids = sorted(ring.nodes_by_id)
+        ring.rebuild_tables()
+        return ring
+
+    # -- oracle ---------------------------------------------------------------
+
+    def owner_of(self, key: int) -> PastryNode:
+        """The numerically closest node to ``key`` (ties to the lower id)."""
+        import bisect
+
+        ids = self._sorted_ids
+        if not ids:
+            raise RuntimeError("empty ring")
+        pos = bisect.bisect_left(ids, key % (1 << self.m))
+        candidates = {ids[pos % len(ids)], ids[(pos - 1) % len(ids)]}
+        best = min(
+            candidates,
+            key=lambda nid: (cyclic_distance(nid, key, self.m), nid),
+        )
+        return self.nodes_by_id[best]
+
+    # -- construction ------------------------------------------------------------
+
+    def rebuild_tables(self) -> None:
+        """Fill every node's leaf set and routing table from the membership."""
+        ids = self._sorted_ids
+        n = len(ids)
+        nodes = self.nodes()
+        half = min(self.leaf_set_size // 2, max(n - 1, 0))
+        n_digits = self.m // self.b
+        base = 1 << self.b
+        # group membership by digit prefix for efficient candidate lookup
+        two_m = 1 << self.m
+        for pos, node in enumerate(nodes):
+            node.leaf_set = [
+                nodes[(pos + off) % n]
+                for off in list(range(1, half + 1)) + list(range(-half, 0))
+                if n > 1
+            ]
+            if n > 1 and half > 0:
+                node.cw_span = (nodes[(pos + half) % n].id - node.id) % two_m
+                node.ccw_span = (node.id - nodes[(pos - half) % n].id) % two_m
+            else:
+                node.cw_span = node.ccw_span = 0
+            node.routing_table = [[None] * base for _ in range(n_digits)]
+        # routing tables: for every (node, row, digit) pick a candidate that
+        # shares `row` digits and has `digit` at position row.
+        for node in nodes:
+            for other in nodes:
+                if other is node:
+                    continue
+                row = _shared_digits(node.id, other.id, self.m, self.b)
+                if row == n_digits:
+                    continue
+                col = other.digit(row)
+                cur = node.routing_table[row][col]
+                if cur is None:
+                    node.routing_table[row][col] = other
+                elif self.latency is not None:
+                    if self.latency.latency(node.host, other.host) < self.latency.latency(
+                        node.host, cur.host
+                    ):
+                        node.routing_table[row][col] = other
+
+    # -- routing ------------------------------------------------------------------
+
+    def route_step(self, node: PastryNode, key: int) -> "PastryNode | None":
+        """One Pastry forwarding decision; ``None`` means deliver here."""
+        # 1. leaf-set rule: deliver to the numerically closest of self ∪ leafs
+        candidates = [node] + node.leaf_set
+        closest = min(
+            candidates, key=lambda x: (cyclic_distance(x.id, key, self.m), x.id)
+        )
+        two_m = 1 << self.m
+        fwd = (key - node.id) % two_m
+        bwd = (node.id - key) % two_m
+        in_leaf_range = fwd <= node.cw_span or bwd <= node.ccw_span
+        if in_leaf_range or len(self) <= len(candidates):
+            return None if closest is node else closest
+        # 2. routing-table rule: match one more digit
+        row = _shared_digits(node.id, key, self.m, self.b)
+        col = _key_digit(key, row, self.m, self.b)
+        entry = node.routing_table[row][col]
+        if entry is not None:
+            return entry
+        # 3. rare case: any known node with >= row shared digits, numerically closer
+        my_dist = cyclic_distance(node.id, key, self.m)
+        best = None
+        best_dist = my_dist
+        for cand in candidates[1:] + [
+            c for r in node.routing_table for c in r if c is not None
+        ]:
+            if _shared_digits(cand.id, key, self.m, self.b) >= row:
+                d = cyclic_distance(cand.id, key, self.m)
+                if d < best_dist:
+                    best, best_dist = cand, d
+        return best
+
+    def lookup_path(self, start: PastryNode, key: int) -> "list[PastryNode]":
+        """Full route from ``start`` to the key's owner."""
+        path = [start]
+        current = start
+        for _ in range(4 * (self.m // self.b) + len(self)):
+            nxt = self.route_step(current, key)
+            if nxt is None:
+                return path
+            path.append(nxt)
+            current = nxt
+        raise RuntimeError(f"pastry route for {key:#x} did not converge")

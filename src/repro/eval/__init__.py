@@ -1,0 +1,78 @@
+"""Evaluation harness: ground truth, metrics, experiment runner and reports.
+
+Every table and figure of the paper's §4 has a named configuration in
+:mod:`repro.eval.experiments` and a benchmark under ``benchmarks/`` that
+regenerates it.
+"""
+
+from repro.eval.expansion import expand_query
+from repro.eval.validate import CheckResult, self_check
+from repro.eval.experiments import (
+    SYNTHETIC_SCHEMES,
+    TREC_SCHEMES,
+    figure2_config,
+    figure3_config,
+    figure4_config,
+    figure5_config,
+    figure6_config,
+)
+from repro.eval.ground_truth import batch_exact_top_k, exact_range, exact_top_k
+from repro.eval.metrics import (
+    gini_coefficient,
+    load_summary,
+    merge_top_k,
+    recall_at_k,
+    workload_recall,
+)
+from repro.eval.report import format_dict, format_load_distribution, format_sweep, format_table
+from repro.eval.runner import (
+    ReplicatedResult,
+    run_replicated,
+    DatasetBundle,
+    ExperimentConfig,
+    ExperimentResult,
+    Scheme,
+    SchemeResult,
+    build_bundle,
+    build_synthetic_bundle,
+    build_trec_bundle,
+    run_experiment,
+    run_scheme,
+)
+
+__all__ = [
+    "exact_top_k",
+    "exact_range",
+    "batch_exact_top_k",
+    "merge_top_k",
+    "recall_at_k",
+    "workload_recall",
+    "gini_coefficient",
+    "load_summary",
+    "Scheme",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "SchemeResult",
+    "DatasetBundle",
+    "build_bundle",
+    "build_synthetic_bundle",
+    "build_trec_bundle",
+    "run_experiment",
+    "run_replicated",
+    "ReplicatedResult",
+    "run_scheme",
+    "figure2_config",
+    "figure3_config",
+    "figure4_config",
+    "figure5_config",
+    "figure6_config",
+    "SYNTHETIC_SCHEMES",
+    "TREC_SCHEMES",
+    "format_table",
+    "format_sweep",
+    "format_load_distribution",
+    "format_dict",
+    "expand_query",
+    "self_check",
+    "CheckResult",
+]

@@ -1,0 +1,83 @@
+"""Result-quality and load metrics (paper §4.1).
+
+Recall: for each query, the 10 nearest objects found by exact search over
+the whole dataset form the theoretical result ``X``; the system's merged
+top-10 is ``Y``; ``recall = |X ∩ Y| / |X|``.  Index nodes each return their
+10 nearest local results and the querier merges them, exactly as the paper
+describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "merge_top_k",
+    "recall_at_k",
+    "workload_recall",
+    "gini_coefficient",
+    "load_summary",
+]
+
+
+def merge_top_k(entries, k: int = 10) -> np.ndarray:
+    """Merge per-node result entries into the querier's global top-k.
+
+    Deduplicates by object id (keeping the best distance) and returns object
+    ids sorted by ascending distance, at most ``k``.
+    """
+    best: "dict[int, float]" = {}
+    for e in entries:
+        if e.object_id not in best or e.distance < best[e.object_id]:
+            best[e.object_id] = e.distance
+    ranked = sorted(best.items(), key=lambda kv: (kv[1], kv[0]))
+    return np.asarray([oid for oid, _ in ranked[:k]], dtype=np.int64)
+
+
+def recall_at_k(true_ids: np.ndarray, retrieved_ids: np.ndarray) -> float:
+    """``|X ∩ Y| / |X|`` — the paper's recall for one query."""
+    truth = set(int(i) for i in true_ids)
+    if not truth:
+        return 1.0
+    got = set(int(i) for i in retrieved_ids)
+    return len(truth & got) / len(truth)
+
+
+def workload_recall(stats, ground_truth: "list[np.ndarray]", k: int = 10) -> "tuple[float, np.ndarray]":
+    """Mean recall over a workload (and the per-query vector).
+
+    ``stats`` is the :class:`repro.sim.stats.StatsCollector` of the run;
+    query ``qid`` must equal the position in ``ground_truth``.
+    """
+    per_query = np.zeros(len(ground_truth))
+    for qid, truth in enumerate(ground_truth):
+        qs = stats.queries.get(qid)
+        retrieved = merge_top_k(qs.entries, k) if qs is not None else np.empty(0, np.int64)
+        per_query[qid] = recall_at_k(truth, retrieved)
+    return float(per_query.mean()) if len(per_query) else 0.0, per_query
+
+
+def gini_coefficient(loads: np.ndarray) -> float:
+    """Gini coefficient of the load distribution (0 = even, →1 = concentrated)."""
+    x = np.sort(np.asarray(loads, dtype=np.float64))
+    n = len(x)
+    total = x.sum()
+    if n == 0 or total == 0:
+        return 0.0
+    cum = np.cumsum(x)
+    return float((n + 1 - 2 * (cum / total).sum()) / n)
+
+
+def load_summary(loads: np.ndarray) -> "dict[str, float]":
+    """Summary statistics of a per-node load vector (Figures 4 & 6)."""
+    loads = np.asarray(loads, dtype=np.float64)
+    if len(loads) == 0:
+        return {"max": 0.0, "mean": 0.0, "nonzero": 0.0, "gini": 0.0, "max_over_mean": 0.0}
+    mean = float(loads.mean())
+    return {
+        "max": float(loads.max()),
+        "mean": mean,
+        "nonzero": float(np.count_nonzero(loads)),
+        "gini": gini_coefficient(loads),
+        "max_over_mean": float(loads.max() / mean) if mean > 0 else 0.0,
+    }

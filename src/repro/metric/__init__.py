@@ -1,0 +1,45 @@
+"""Generic metric-space substrate (paper §2).
+
+Any data domain with a black-box distance function satisfying positivity,
+reflexivity, symmetry and the triangle inequality can be indexed by the
+landmark architecture.  This package supplies the abstraction plus the
+metrics the paper names: ``L_p`` vector metrics (§4.2's Euclidean),
+arccos-cosine angular distance on TF/IDF term vectors (§4.3), edit distance
+on strings, and the Hausdorff metric on point sets, along with the
+``d/(1+d)`` bounding transform of §3.1.
+"""
+
+from repro.metric.base import Metric, MetricAxiomViolation, MetricSpace, check_metric_axioms
+from repro.metric.cosine import AngularMetric, SparseAngularMetric
+from repro.metric.discrete import DiscreteMetric
+from repro.metric.hausdorff import HausdorffMetric
+from repro.metric.sets import JaccardMetric
+from repro.metric.strings import EditDistanceMetric, HammingMetric, edit_distance
+from repro.metric.transforms import BoundedMetric, ScaledMetric
+from repro.metric.vector import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    MinkowskiMetric,
+)
+
+__all__ = [
+    "Metric",
+    "MetricSpace",
+    "MetricAxiomViolation",
+    "check_metric_axioms",
+    "MinkowskiMetric",
+    "EuclideanMetric",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "AngularMetric",
+    "SparseAngularMetric",
+    "EditDistanceMetric",
+    "HammingMetric",
+    "edit_distance",
+    "HausdorffMetric",
+    "JaccardMetric",
+    "BoundedMetric",
+    "ScaledMetric",
+    "DiscreteMetric",
+]

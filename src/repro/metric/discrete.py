@@ -1,0 +1,34 @@
+"""The discrete metric — a degenerate but valid metric used in tests.
+
+``d(x, y) = 0`` iff ``x == y`` else ``1``.  Every metric-space algorithm must
+at least not crash on it; it also exercises the "all distances equal" corner
+of landmark projection (every non-landmark object maps to the same index
+point).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+import numpy as np
+
+from repro.metric.base import Metric
+
+__all__ = ["DiscreteMetric"]
+
+
+class DiscreteMetric(Metric):
+    """0/1 discrete metric on hashable objects."""
+
+    is_bounded = True
+    upper_bound = 1.0
+
+    def distance(self, x: Hashable, y: Hashable) -> float:
+        return 0.0 if x == y else 1.0
+
+    def one_to_many(self, x: Any, ys: Sequence[Any]) -> np.ndarray:
+        return np.asarray([0.0 if x == y else 1.0 for y in ys], dtype=np.float64)
+
+    @property
+    def name(self) -> str:
+        return "discrete"

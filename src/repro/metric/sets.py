@@ -1,0 +1,58 @@
+"""The Jaccard distance on finite sets.
+
+``d(A, B) = 1 - |A ∩ B| / |A ∪ B|`` is a true metric on finite sets (the
+Steinhaus/Tanimoto distance), bounded by 1 — another drop-in "black box" for
+the landmark platform, useful for tag sets, shingled documents and market
+baskets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.metric.base import Metric
+
+__all__ = ["JaccardMetric"]
+
+
+class JaccardMetric(Metric):
+    """Jaccard distance between hashable-element collections.
+
+    Objects may be any iterables of hashables; they are normalised to
+    ``frozenset`` on first use.  Two empty sets are identical (distance 0).
+    """
+
+    is_bounded = True
+    upper_bound = 1.0
+
+    @staticmethod
+    def _as_set(x: Any) -> frozenset:
+        return x if isinstance(x, frozenset) else frozenset(x)
+
+    def distance(self, x: Iterable, y: Iterable) -> float:
+        a = self._as_set(x)
+        b = self._as_set(y)
+        if not a and not b:
+            return 0.0
+        inter = len(a & b)
+        union = len(a) + len(b) - inter
+        return 1.0 - inter / union
+
+    def one_to_many(self, x: Iterable, ys: Sequence[Iterable]) -> np.ndarray:
+        a = self._as_set(x)
+        out = np.empty(len(ys), dtype=np.float64)
+        la = len(a)
+        for i, y in enumerate(ys):
+            b = self._as_set(y)
+            if not a and not b:
+                out[i] = 0.0
+                continue
+            inter = len(a & b)
+            out[i] = 1.0 - inter / (la + len(b) - inter)
+        return out
+
+    @property
+    def name(self) -> str:
+        return "jaccard"

@@ -1,0 +1,42 @@
+"""Packet-level discrete-event simulation substrate (p2psim substitute).
+
+Provides the event engine, network latency models (including the synthetic
+King-like matrix standing in for the King dataset), message size accounting
+per the paper's byte model, and per-query cost statistics.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.king import (
+    KING_MEAN_RTT,
+    KING_N_HOSTS,
+    king_latency_model,
+    synthetic_king_matrix,
+)
+from repro.sim.messages import (
+    QueryMessage,
+    ResultEntry,
+    ResultMessage,
+    query_message_size,
+    result_message_size,
+)
+from repro.sim.network import ConstantLatency, EuclideanLatency, LatencyModel, MatrixLatency
+from repro.sim.stats import QueryStats, StatsCollector
+
+__all__ = [
+    "Simulator",
+    "LatencyModel",
+    "ConstantLatency",
+    "MatrixLatency",
+    "EuclideanLatency",
+    "synthetic_king_matrix",
+    "king_latency_model",
+    "KING_N_HOSTS",
+    "KING_MEAN_RTT",
+    "QueryMessage",
+    "ResultMessage",
+    "ResultEntry",
+    "query_message_size",
+    "result_message_size",
+    "QueryStats",
+    "StatsCollector",
+]

@@ -1,0 +1,111 @@
+"""Network latency models for the packet-level simulation.
+
+The paper derives its network model from the King dataset: pairwise
+latencies of 1740 DNS servers with an average simulated RTT of 180 ms
+(§4.1).  :mod:`repro.sim.king` synthesises an equivalent matrix; this module
+defines the latency-model interface and simpler models used in tests.
+
+Latencies are *one-way* delays in seconds between host indices (a host index
+is an endpoint slot in the underlying network, assigned to overlay nodes at
+join time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import as_rng
+
+__all__ = ["LatencyModel", "ConstantLatency", "MatrixLatency", "EuclideanLatency"]
+
+
+class LatencyModel:
+    """One-way delay between two host endpoints."""
+
+    #: number of addressable hosts
+    n_hosts: int = 0
+
+    def latency(self, a: int, b: int) -> float:
+        """One-way delay (seconds) from host ``a`` to host ``b``."""
+        raise NotImplementedError
+
+    def latency_row(self, a: int, hosts: np.ndarray) -> np.ndarray:
+        """Vectorised delays from ``a`` to each host in ``hosts``.
+
+        Subclasses with array-backed state override this; the base version
+        falls back to scalar lookups (used by PNS finger selection, which
+        evaluates many candidates per finger).
+        """
+        return np.asarray([self.latency(a, int(b)) for b in hosts], dtype=np.float64)
+
+    def mean_rtt(self, sample: int = 2000, seed: int = 0) -> float:
+        """Estimate the mean round-trip time over random distinct host pairs."""
+        rng = as_rng(seed)
+        n = self.n_hosts
+        a = rng.integers(0, n, size=sample)
+        b = rng.integers(0, n, size=sample)
+        ok = a != b
+        return float(
+            np.mean([self.latency(int(x), int(y)) + self.latency(int(y), int(x))
+                     for x, y in zip(a[ok], b[ok])])
+        )
+
+
+class ConstantLatency(LatencyModel):
+    """Every distinct pair of hosts is ``delay`` seconds apart (tests, analytics)."""
+
+    def __init__(self, n_hosts: int, delay: float = 0.045):
+        self.n_hosts = n_hosts
+        self.delay = float(delay)
+
+    def latency(self, a: int, b: int) -> float:
+        return 0.0 if a == b else self.delay
+
+
+class MatrixLatency(LatencyModel):
+    """Latency looked up in an explicit ``(n, n)`` one-way delay matrix."""
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("latency matrix must be square")
+        if np.any(matrix < 0):
+            raise ValueError("latencies must be non-negative")
+        self.matrix = matrix
+        self.n_hosts = matrix.shape[0]
+
+    def latency(self, a: int, b: int) -> float:
+        return float(self.matrix[a, b])
+
+    def latency_row(self, a: int, hosts: np.ndarray) -> np.ndarray:
+        return self.matrix[a, np.asarray(hosts, dtype=np.intp)]
+
+
+class EuclideanLatency(LatencyModel):
+    """Hosts embedded in a plane; delay proportional to Euclidean distance.
+
+    A cheap stand-in for geographic latency used when a full matrix would be
+    wasteful (very large host counts).  ``base`` adds a fixed per-hop
+    processing delay.
+    """
+
+    def __init__(self, coords: np.ndarray, seconds_per_unit: float, base: float = 0.0):
+        self.coords = np.asarray(coords, dtype=np.float64)
+        if self.coords.ndim != 2:
+            raise ValueError("coords must be (n_hosts, dim)")
+        self.n_hosts = self.coords.shape[0]
+        self.seconds_per_unit = float(seconds_per_unit)
+        self.base = float(base)
+
+    def latency(self, a: int, b: int) -> float:
+        if a == b:
+            return 0.0
+        d = float(np.linalg.norm(self.coords[a] - self.coords[b]))
+        return self.base + self.seconds_per_unit * d
+
+    def latency_row(self, a: int, hosts: np.ndarray) -> np.ndarray:
+        hosts = np.asarray(hosts, dtype=np.intp)
+        d = np.linalg.norm(self.coords[hosts] - self.coords[a], axis=1)
+        out = self.base + self.seconds_per_unit * d
+        out[hosts == a] = 0.0
+        return out

@@ -1,0 +1,31 @@
+"""Shared low-level utilities: identifier bit manipulation, RNG plumbing, chunked iteration.
+
+These helpers are deliberately free of any domain knowledge; every subsystem
+(DHT, index core, simulator) builds on them.
+"""
+
+from repro.util.bits import (
+    bit_at,
+    clear_trailing,
+    first_zero_bit,
+    key_to_bits,
+    pad_prefix,
+    prefix_of,
+    same_prefix,
+    set_bit_at,
+)
+from repro.util.rng import as_rng, derive_rng, spawn_rngs
+
+__all__ = [
+    "bit_at",
+    "set_bit_at",
+    "prefix_of",
+    "pad_prefix",
+    "same_prefix",
+    "first_zero_bit",
+    "clear_trailing",
+    "key_to_bits",
+    "as_rng",
+    "derive_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,116 @@
+"""Bit manipulation for ``m``-bit DHT identifiers.
+
+The paper indexes bits *from the left* of the ``m``-bit identifier: bit 1 is
+the most significant bit, bit ``m`` the least significant (its footnote 3).
+All helpers below follow that convention.  Identifiers are plain Python
+integers in ``[0, 2**m)`` so that ``m = 64`` (the paper's setting) costs
+nothing special.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "bit_at",
+    "set_bit_at",
+    "clear_bit_at",
+    "prefix_of",
+    "pad_prefix",
+    "same_prefix",
+    "first_zero_bit",
+    "clear_trailing",
+    "key_to_bits",
+    "bits_to_key",
+]
+
+
+def _check(i: int, m: int) -> None:
+    if not 1 <= i <= m:
+        raise ValueError(f"bit position {i} out of range 1..{m}")
+
+
+def bit_at(key: int, i: int, m: int) -> int:
+    """Return bit ``i`` (1-based, from the left) of the ``m``-bit ``key``."""
+    _check(i, m)
+    return (key >> (m - i)) & 1
+
+
+def set_bit_at(key: int, i: int, m: int) -> int:
+    """Return ``key`` with bit ``i`` (1-based, from the left) set to 1."""
+    _check(i, m)
+    return key | (1 << (m - i))
+
+
+def clear_bit_at(key: int, i: int, m: int) -> int:
+    """Return ``key`` with bit ``i`` (1-based, from the left) cleared to 0."""
+    _check(i, m)
+    return key & ~(1 << (m - i))
+
+
+def prefix_of(key: int, length: int, m: int) -> int:
+    """The first ``length`` bits of ``key`` as an ``m``-bit, right-zero-padded key.
+
+    ``prefix_of(key, 0, m) == 0``; ``prefix_of(key, m, m) == key``.  This is
+    the paper's ``prefix(id, len)`` followed by zero padding to form a
+    *prefix_key*.
+    """
+    if not 0 <= length <= m:
+        raise ValueError(f"prefix length {length} out of range 0..{m}")
+    if length == 0:
+        return 0
+    shift = m - length
+    return (key >> shift) << shift
+
+
+def pad_prefix(prefix_bits: int, length: int, m: int) -> int:
+    """Turn a ``length``-bit prefix value into an ``m``-bit prefix_key.
+
+    ``prefix_bits`` holds the prefix in its *low* bits (e.g. ``0b011`` with
+    ``length = 3``); the result shifts it to the top and pads zeros, e.g.
+    ``0b0110...0``.
+    """
+    if not 0 <= length <= m:
+        raise ValueError(f"prefix length {length} out of range 0..{m}")
+    if prefix_bits >> length:
+        raise ValueError(f"prefix value {prefix_bits:#x} wider than {length} bits")
+    return prefix_bits << (m - length)
+
+
+def same_prefix(a: int, b: int, length: int, m: int) -> bool:
+    """True when ``a`` and ``b`` share their first ``length`` bits."""
+    return prefix_of(a, length, m) == prefix_of(b, length, m)
+
+
+def first_zero_bit(key: int, start: int, m: int) -> int | None:
+    """First position ``j`` in ``start..m`` (1-based, from the left) where ``key`` has a 0 bit.
+
+    Returns ``None`` when every bit in the range is 1 — the paper's
+    "``j`` not exists" case in Algorithm 5 (SurrogateRefine).
+    """
+    if start > m:
+        return None
+    _check(start, m)
+    width = m - start + 1
+    # Bits start..m are exactly the low ``width`` bits of key.
+    mask_all_ones = (1 << width) - 1
+    window = key & mask_all_ones
+    if window == mask_all_ones:
+        return None
+    # Find the most significant zero inside the window.
+    inverted = (~window) & mask_all_ones
+    msb = inverted.bit_length()  # 1-based from the right within the window
+    return m - msb + 1
+
+
+def clear_trailing(key: int, keep: int, m: int) -> int:
+    """Alias of :func:`prefix_of` with argument order matching call sites."""
+    return prefix_of(key, keep, m)
+
+
+def key_to_bits(key: int, m: int) -> str:
+    """Render ``key`` as an ``m``-character bit string (debugging aid)."""
+    return format(key, f"0{m}b")
+
+
+def bits_to_key(bits: str) -> int:
+    """Parse a bit string (as produced by :func:`key_to_bits`) back to an int."""
+    return int(bits, 2) if bits else 0

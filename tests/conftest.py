@@ -1,0 +1,48 @@
+"""Shared fixtures: small rings, platforms and datasets reused across tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.platform import IndexPlatform
+from repro.dht.ring import ChordRing
+from repro.metric.vector import EuclideanMetric
+from repro.sim.network import ConstantLatency
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_ring():
+    """A 32-node ring with constant latency (deterministic, fast)."""
+    latency = ConstantLatency(32, delay=0.02)
+    return ChordRing.build(32, m=24, seed=7, latency=latency, pns=False)
+
+
+@pytest.fixture
+def clustered_data(rng):
+    """Small clustered 6-d dataset with known structure."""
+    centers = rng.uniform(0, 100, size=(4, 6))
+    assign = rng.integers(0, 4, size=800)
+    data = centers[assign] + rng.normal(0, 4, size=(800, 6))
+    return np.clip(data, 0, 100)
+
+
+@pytest.fixture
+def platform(small_ring, clustered_data):
+    """A platform with one kmeans index over the clustered dataset."""
+    p = IndexPlatform(small_ring)
+    p.create_index(
+        "t",
+        clustered_data,
+        EuclideanMetric(box=(0, 100), dim=6),
+        k=3,
+        selection="kmeans",
+        sample_size=400,
+        seed=3,
+    )
+    return p

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_flags(self):
+        args = build_parser().parse_args(
+            ["fig2", "--scale", "bench", "--nodes", "8", "--objects", "500", "--queries", "5"]
+        )
+        assert args.command == "fig2"
+        assert args.nodes == 8
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--scale", "galactic"])
+
+    def test_all_commands_registered(self):
+        for cmd in ("fig2", "fig3", "fig4", "fig5", "fig6", "table1", "table2", "quickstart", "check"):
+            args = build_parser().parse_args(
+                [cmd] if cmd in ("quickstart",) else [cmd]
+            )
+            assert args.command == cmd
+
+
+class TestExecution:
+    def test_table1(self, capsys, tmp_path):
+        out = tmp_path / "t1.txt"
+        assert main(["table1", "--objects", "500", "--out", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "Table 1" in captured
+        assert out.read_text().startswith("Table 1")
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--corpus-scale", "0.002"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_fig2_tiny(self, capsys, tmp_path):
+        out = tmp_path / "fig2.txt"
+        rc = main(
+            [
+                "fig2",
+                "--nodes", "8",
+                "--objects", "300",
+                "--queries", "4",
+                "--seed", "1",
+                "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "[recall]" in text
+        assert "Kmean-10" in text
+        assert out.exists()
+
+    def test_fig4_tiny(self, capsys):
+        rc = main(["fig4", "--nodes", "8", "--objects", "300", "--queries", "2"])
+        assert rc == 0
+        assert "load distribution" in capsys.readouterr().out
+
+    def test_fig6_tiny(self, capsys):
+        rc = main(
+            ["fig6", "--nodes", "8", "--queries", "2", "--corpus-scale", "0.002"]
+        )
+        assert rc == 0
+        assert "load distribution" in capsys.readouterr().out
+
+    def test_check(self, capsys):
+        rc = main(["check", "--seed", "3"])
+        assert rc == 0
+        assert "self-check: 5 passed" in capsys.readouterr().out

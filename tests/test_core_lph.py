@@ -1,0 +1,210 @@
+"""Tests for the locality-preserving hash (Algorithm 2) and cuboid geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.index_space import IndexSpaceBounds
+from repro.core.lph import (
+    dimension_range,
+    key_to_cuboid,
+    lp_hash,
+    lp_hash_batch,
+    prefix_to_cuboid,
+    smallest_enclosing_prefix,
+)
+
+B2 = IndexSpaceBounds.uniform(2, 0.0, 1.0)
+
+
+class TestScalarHash:
+    def test_2d_quadrants_m2(self):
+        """With m=2 over [0,1]^2 the four quadrants spell 00,10,01,11.
+
+        Division 1 splits dim 0, division 2 splits dim 1; bit 1 = higher half
+        of dim 0, bit 2 = higher half of dim 1.
+        """
+        assert lp_hash(np.array([0.25, 0.25]), B2, 2) == 0b00
+        assert lp_hash(np.array([0.75, 0.25]), B2, 2) == 0b10
+        assert lp_hash(np.array([0.25, 0.75]), B2, 2) == 0b01
+        assert lp_hash(np.array([0.75, 0.75]), B2, 2) == 0b11
+
+    def test_paper_figure1_prefix_011(self):
+        """Figure 1(a): after 3 divisions, rectangle '011' is the low-x,
+        high-y, high-x-within-left... — verify by geometry round trip."""
+        lo, hi = prefix_to_cuboid(0b011 << 13, 3, B2, 16)
+        # prefix 011: dim0 lower half (bit1=0), dim1 upper half (bit2=1),
+        # dim0 upper quarter of the lower half (bit3=1).
+        np.testing.assert_allclose(lo, [0.25, 0.5])
+        np.testing.assert_allclose(hi, [0.5, 1.0])
+
+    def test_boundary_point_goes_lower(self):
+        """The tie rule: point exactly on the split plane hashes low."""
+        assert lp_hash(np.array([0.5, 0.5]), B2, 2) == 0b00
+
+    def test_corners(self):
+        m = 8
+        assert lp_hash(np.array([0.0, 0.0]), B2, m) == 0
+        assert lp_hash(np.array([1.0, 1.0]), B2, m) == 2**m - 1
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            lp_hash(np.zeros(3), B2, 4)
+
+    def test_alternating_dimensions(self):
+        """Division i splits dimension (i-1) mod k."""
+        b3 = IndexSpaceBounds.uniform(3, 0.0, 1.0)
+        # Only dim 2 high: bits at divisions 3, 6, ... are 1.
+        key = lp_hash(np.array([0.1, 0.1, 0.9]), b3, 6)
+        assert key == 0b001001
+
+
+class TestBatchHash:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_batch_matches_scalar(self, data):
+        k = data.draw(st.integers(1, 4))
+        m = data.draw(st.integers(1, 24))
+        bounds = IndexSpaceBounds.uniform(k, -3.0, 7.0)
+        n = data.draw(st.integers(1, 12))
+        pts = data.draw(
+            st.lists(
+                st.lists(st.floats(-3.0, 7.0, allow_nan=False), min_size=k, max_size=k),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        pts = np.asarray(pts)
+        batch = lp_hash_batch(pts, bounds, m)
+        for i in range(n):
+            assert int(batch[i]) == lp_hash(pts[i], bounds, m)
+
+    def test_m64_supported(self):
+        pts = np.random.default_rng(0).uniform(size=(16, 3))
+        b3 = IndexSpaceBounds.uniform(3, 0.0, 1.0)
+        keys = lp_hash_batch(pts, b3, 64)
+        assert keys.dtype == np.uint64
+        for i in range(16):
+            assert int(keys[i]) == lp_hash(pts[i], b3, 64)
+
+    def test_m_above_64_rejected(self):
+        with pytest.raises(ValueError):
+            lp_hash_batch(np.zeros((1, 2)), B2, 65)
+
+    def test_locality(self):
+        """Nearby points share longer prefixes than distant ones, on average."""
+        rng = np.random.default_rng(1)
+        m = 16
+        base = rng.uniform(0.2, 0.8, size=(200, 2))
+        near = base + rng.uniform(-0.01, 0.01, size=base.shape)
+        far = rng.uniform(0, 1, size=base.shape)
+        kb = lp_hash_batch(base, B2, m)
+        kn = lp_hash_batch(near, B2, m)
+        kf = lp_hash_batch(far, B2, m)
+
+        def mean_common_prefix(a, b):
+            x = np.bitwise_xor(a, b)
+            return np.mean([m - int(v).bit_length() for v in x])
+
+        assert mean_common_prefix(kb, kn) > mean_common_prefix(kb, kf) + 2
+
+
+class TestInverseGeometry:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_point_within_its_cuboid(self, data):
+        k = data.draw(st.integers(1, 3))
+        m = data.draw(st.integers(1, 20))
+        bounds = IndexSpaceBounds.uniform(k, 0.0, 1.0)
+        pt = np.asarray(
+            data.draw(st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=k, max_size=k))
+        )
+        key = lp_hash(pt, bounds, m)
+        lo, hi = key_to_cuboid(key, bounds, m)
+        assert np.all(pt >= lo - 1e-12) and np.all(pt <= hi + 1e-12)
+
+    def test_cuboids_partition_volume(self):
+        """All 2^m leaf cuboids have equal volume summing to the domain."""
+        m = 4
+        vols = []
+        for key in range(2**m):
+            lo, hi = key_to_cuboid(key, B2, m)
+            vols.append(np.prod(hi - lo))
+        assert np.allclose(vols, 1.0 / 2**m)
+
+    def test_prefix_nesting(self):
+        """cuboid(prefix, L) contains cuboid(prefix', L+1) for its children."""
+        m = 10
+        key = 0b0110000000
+        lo1, hi1 = prefix_to_cuboid(key, 3, B2, m)
+        for child in (key, key | (1 << (m - 4))):
+            lo2, hi2 = prefix_to_cuboid(child, 4, B2, m)
+            assert np.all(lo2 >= lo1 - 1e-12) and np.all(hi2 <= hi1 + 1e-12)
+
+    def test_dimension_range_matches_cuboid(self):
+        m = 12
+        key = 0b101101000000
+        for upto in range(0, 7):
+            lo, hi = prefix_to_cuboid(key, upto, B2, m)
+            for dim in range(2):
+                dlo, dhi = dimension_range(key, upto, dim, B2, m)
+                assert dlo == pytest.approx(lo[dim])
+                assert dhi == pytest.approx(hi[dim])
+
+
+class TestSmallestEnclosingPrefix:
+    def test_full_domain_query(self):
+        key, length = smallest_enclosing_prefix(
+            np.array([0.0, 0.0]), np.array([1.0, 1.0]), B2, 8
+        )
+        assert (key, length) == (0, 0)
+
+    def test_tiny_query_deep_prefix(self):
+        key, length = smallest_enclosing_prefix(
+            np.array([0.3, 0.3]), np.array([0.3001, 0.3001]), B2, 16
+        )
+        assert length > 8
+        lo, hi = prefix_to_cuboid(key, length, B2, 16)
+        assert np.all(lo <= 0.3) and np.all(hi >= 0.3001)
+
+    def test_straddling_centre_stays_at_root(self):
+        key, length = smallest_enclosing_prefix(
+            np.array([0.49, 0.1]), np.array([0.51, 0.2]), B2, 16
+        )
+        assert length == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_prefix_contains_rect(self, data):
+        m = 14
+        lo = np.asarray(
+            data.draw(st.lists(st.floats(0.0, 0.99, allow_nan=False), min_size=2, max_size=2))
+        )
+        ext = np.asarray(
+            data.draw(st.lists(st.floats(0.0, 0.3, allow_nan=False), min_size=2, max_size=2))
+        )
+        hi = np.minimum(lo + ext, 1.0)
+        key, length = smallest_enclosing_prefix(lo, hi, B2, m)
+        clo, chi = prefix_to_cuboid(key, length, B2, m)
+        assert np.all(clo <= lo + 1e-12) and np.all(chi >= hi - 1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_point_keys_share_query_prefix(self, data):
+        """Every point inside the rect hashes with the enclosing prefix —
+        the guarantee routing relies on (no false negatives)."""
+        m = 12
+        lo = np.asarray(
+            data.draw(st.lists(st.floats(0.0, 0.9, allow_nan=False), min_size=2, max_size=2))
+        )
+        ext = np.asarray(
+            data.draw(st.lists(st.floats(0.001, 0.2, allow_nan=False), min_size=2, max_size=2))
+        )
+        hi = np.minimum(lo + ext, 1.0)
+        key, length = smallest_enclosing_prefix(lo, hi, B2, m)
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(lo, hi, size=(30, 2))
+        keys = lp_hash_batch(pts, B2, m)
+        shift = np.uint64(m - length)
+        if length:
+            assert np.all((keys >> shift) == np.uint64(key >> (m - length)))

@@ -1,0 +1,120 @@
+"""Tests for the synthetic TREC-like corpus (Table 2 statistics)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.datasets.documents import (
+    PAPER_TABLE2,
+    SyntheticCorpusConfig,
+    generate_corpus,
+    generate_topics,
+    vector_size_stats,
+)
+
+SMALL = SyntheticCorpusConfig().scaled(0.02)  # ~3140 docs, ~4670 terms
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(SMALL, seed=0)
+
+
+class TestCorpusGeneration:
+    def test_shape(self, corpus):
+        assert corpus.tfidf.shape == (SMALL.n_docs, SMALL.vocab_size)
+        assert sparse.issparse(corpus.tfidf)
+
+    def test_deterministic(self):
+        a = generate_corpus(SMALL, seed=3)
+        b = generate_corpus(SMALL, seed=3)
+        assert (a.tfidf != b.tfidf).nnz == 0
+
+    def test_stopword_columns_empty(self, corpus):
+        """The top-ranked (stop) terms never appear in document vectors."""
+        csc = corpus.tfidf.tocsc()
+        stop_df = np.diff(csc.indptr)[: SMALL.n_stopwords]
+        assert stop_df.sum() == 0
+
+    def test_weights_positive(self, corpus):
+        assert corpus.tfidf.data.min() > 0
+
+    def test_doc_sizes_match_matrix(self, corpus):
+        np.testing.assert_array_equal(corpus.doc_sizes, np.diff(corpus.tfidf.indptr))
+
+    def test_sizes_within_paper_range(self, corpus):
+        assert corpus.doc_sizes.min() >= 1
+        assert corpus.doc_sizes.max() <= SMALL.max_terms
+
+    def test_table2_shape_calibration(self, corpus):
+        """Measured stats should be within a tolerant band of Table 2."""
+        stats = vector_size_stats(corpus.doc_sizes)
+        assert stats["50th"] == pytest.approx(PAPER_TABLE2["50th"], rel=0.2)
+        assert stats["mean"] == pytest.approx(PAPER_TABLE2["mean"], rel=0.2)
+        assert stats["95th"] == pytest.approx(PAPER_TABLE2["95th"], rel=0.3)
+        assert stats["5th"] < 100  # short-document tail exists
+
+    def test_idf_realised(self, corpus):
+        seen = corpus.idf > 0
+        assert seen.sum() > 0
+        # IDF of a term seen in every doc would be 0; rare terms get more.
+        assert corpus.idf[seen].max() > 1.0
+
+    def test_n_distinct_terms_counts_nonempty_columns(self, corpus):
+        df = np.diff(corpus.tfidf.tocsc().indptr)
+        assert corpus.n_distinct_terms == int((df > 0).sum())
+
+    def test_zipf_concentration(self, corpus):
+        """Low-rank (frequent) terms should have much higher df than tail terms."""
+        df = np.diff(corpus.tfidf.tocsc().indptr).astype(float)
+        start = SMALL.n_stopwords
+        head = df[start : start + 200].mean()
+        tail = df[start + 2000 : start + 4000].mean()
+        assert head > 3 * max(tail, 0.01)
+
+
+class TestScaledConfig:
+    def test_scaling_reduces_counts(self):
+        cfg = SyntheticCorpusConfig().scaled(0.1)
+        assert cfg.n_docs == int(157_021 * 0.1)
+        assert cfg.vocab_size == int(233_640 * 0.1)
+
+    def test_scaling_keeps_length_distribution(self):
+        cfg = SyntheticCorpusConfig().scaled(0.1)
+        assert cfg.log_median == SyntheticCorpusConfig().log_median
+
+    def test_floor(self):
+        cfg = SyntheticCorpusConfig().scaled(1e-9)
+        assert cfg.n_docs >= 100 and cfg.vocab_size >= 2000
+
+
+class TestTopics:
+    def test_shape_and_sparsity(self, corpus):
+        topics = generate_topics(corpus, n_topics=50, seed=1)
+        assert topics.shape == (50, SMALL.vocab_size)
+        sizes = np.diff(topics.indptr)
+        assert sizes.min() >= 1
+        # Paper: queries average ~3.5 unique terms.
+        assert 2.0 < sizes.mean() < 5.5
+
+    def test_topics_avoid_stopwords(self, corpus):
+        topics = generate_topics(corpus, n_topics=50, seed=1)
+        assert topics.indices.min() >= SMALL.n_stopwords
+
+    def test_deterministic(self, corpus):
+        a = generate_topics(corpus, seed=9)
+        b = generate_topics(corpus, seed=9)
+        assert (a != b).nnz == 0
+
+
+class TestVectorSizeStats:
+    def test_keys_match_table2(self):
+        stats = vector_size_stats(np.arange(1, 101))
+        assert set(stats) == set(PAPER_TABLE2)
+
+    def test_values(self):
+        stats = vector_size_stats(np.array([1, 2, 3, 4, 5]))
+        assert stats["minimum"] == 1
+        assert stats["maximum"] == 5
+        assert stats["mean"] == 3.0
+        assert stats["50th"] == 3.0

@@ -1,0 +1,125 @@
+"""Tests for query workloads, sequence and shape generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.queries import (
+    PAPER_RANGE_FACTORS,
+    QueryWorkload,
+    poisson_arrivals,
+    repeat_topics,
+    synthetic_query_points,
+)
+from repro.datasets.shapes import ShapeFamilyConfig, generate_shapes
+from repro.datasets.strings import SequenceFamilyConfig, generate_sequences, mutate
+from repro.datasets.synthetic import ClusteredGaussianConfig, generate_clustered
+from repro.metric.strings import edit_distance
+
+
+class TestArrivals:
+    def test_monotone_increasing(self):
+        t = poisson_arrivals(100, 150.0, seed=0)
+        assert np.all(np.diff(t) > 0)
+
+    def test_mean_interarrival(self):
+        t = poisson_arrivals(20_000, 150.0, seed=0)
+        assert np.diff(t).mean() == pytest.approx(150.0, rel=0.05)
+
+    def test_start_time(self):
+        t = poisson_arrivals(10, 1.0, seed=0, start_time=1000.0)
+        assert t[0] > 1000.0
+
+
+class TestWorkload:
+    def test_build(self):
+        pts = np.zeros((25, 3))
+        w = QueryWorkload.build(pts, radius=2.0, n_nodes=8, seed=1)
+        assert len(w) == 25
+        assert np.all(w.radii == 2.0)
+        assert w.source_nodes.min() >= 0 and w.source_nodes.max() < 8
+        assert np.all(np.diff(w.arrival_times) > 0)
+
+    def test_paper_range_factors_span(self):
+        assert PAPER_RANGE_FACTORS[0] == 0.001
+        assert PAPER_RANGE_FACTORS[-1] == 0.20
+
+
+class TestSyntheticQueryPoints:
+    def test_same_cluster_structure(self):
+        cfg = ClusteredGaussianConfig(n_objects=500, dim=4, n_clusters=3, deviation=2.0)
+        _, centers = generate_clustered(cfg, 0)
+        q = synthetic_query_points(cfg, 50, centers, seed=1)
+        assert q.shape == (50, 4)
+        d2 = ((q[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        assert np.median(np.sqrt(d2.min(axis=1))) < cfg.deviation * np.sqrt(cfg.dim)
+
+
+class TestRepeatTopics:
+    def test_repeats(self):
+        topics = np.arange(12).reshape(4, 3).astype(float)
+        idx, queries = repeat_topics(topics, 40, seed=0)
+        assert len(idx) == 40
+        assert queries.shape == (40, 3)
+        np.testing.assert_array_equal(queries, topics[idx])
+
+    def test_all_topics_used(self):
+        topics = np.arange(10).reshape(5, 2).astype(float)
+        idx, _ = repeat_topics(topics, 500, seed=0)
+        assert set(idx.tolist()) == set(range(5))
+
+
+class TestSequences:
+    def test_generation(self):
+        cfg = SequenceFamilyConfig(n_sequences=60, n_families=4, length=30)
+        seqs, fams = generate_sequences(cfg, 0)
+        assert len(seqs) == 60
+        assert fams.shape == (60,)
+        assert all(set(s) <= set("ACGT") for s in seqs)
+
+    def test_family_structure(self):
+        """Sequences in the same family are closer than across families."""
+        cfg = SequenceFamilyConfig(n_sequences=40, n_families=2, length=40, mutation_rate=0.05)
+        seqs, fams = generate_sequences(cfg, 0)
+        same, cross = [], []
+        for i in range(0, 20):
+            for j in range(i + 1, 20):
+                d = edit_distance(seqs[i], seqs[j])
+                (same if fams[i] == fams[j] else cross).append(d)
+        assert np.mean(same) < np.mean(cross)
+
+    def test_mutate_rate_zero_is_identity(self):
+        rng = np.random.default_rng(0)
+        assert mutate("ACGTACGT", 0.0, rng) == "ACGTACGT"
+
+    def test_mutate_never_empty(self):
+        rng = np.random.default_rng(0)
+        assert len(mutate("A", 1.0, rng)) >= 1
+
+
+class TestShapes:
+    def test_generation(self):
+        cfg = ShapeFamilyConfig(n_shapes=30, n_templates=3, points_per_shape=16)
+        shapes, which = generate_shapes(cfg, 0)
+        assert len(shapes) == 30
+        assert all(s.shape == (16, 2) for s in shapes)
+        assert which.min() >= 0 and which.max() < 3
+
+    def test_within_canvas(self):
+        cfg = ShapeFamilyConfig(n_shapes=20)
+        shapes, _ = generate_shapes(cfg, 1)
+        for s in shapes:
+            assert s.min() >= 0 and s.max() <= cfg.canvas
+
+    def test_template_structure(self):
+        """Same-template shapes are Hausdorff-closer than cross-template."""
+        from repro.metric.hausdorff import HausdorffMetric
+
+        cfg = ShapeFamilyConfig(n_shapes=24, n_templates=3, jitter=1.0)
+        shapes, which = generate_shapes(cfg, 2)
+        m = HausdorffMetric()
+        same, cross = [], []
+        for i in range(len(shapes)):
+            for j in range(i + 1, len(shapes)):
+                d = m.distance(shapes[i], shapes[j])
+                (same if which[i] == which[j] else cross).append(d)
+        assert np.mean(same) < np.mean(cross)

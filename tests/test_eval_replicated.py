@@ -1,0 +1,52 @@
+"""Tests for multi-seed experiment replication."""
+
+import numpy as np
+import pytest
+
+from repro.eval.runner import ExperimentConfig, Scheme, run_replicated
+
+CFG = ExperimentConfig(
+    kind="synthetic",
+    n_nodes=10,
+    n_objects=400,
+    n_queries=6,
+    sample_size=100,
+    schemes=(Scheme("G3", "greedy", 3),),
+    range_factors=(0.02, 0.10),
+    pns=False,
+    load_balance=False,
+    seed=5,
+)
+
+
+class TestRunReplicated:
+    def test_shapes(self):
+        rep = run_replicated(CFG, n_seeds=2)
+        assert rep.n_seeds == 2
+        assert len(rep.runs) == 2
+        assert rep.mean["G3"]["recall"].shape == (2,)
+        assert rep.std["G3"]["recall"].shape == (2,)
+
+    def test_mean_is_mean_of_runs(self):
+        rep = run_replicated(CFG, n_seeds=3)
+        per_run = np.asarray(
+            [[row["recall"] for row in run.schemes[0].rows] for run in rep.runs]
+        )
+        np.testing.assert_allclose(rep.mean["G3"]["recall"], per_run.mean(axis=0))
+        np.testing.assert_allclose(rep.std["G3"]["recall"], per_run.std(axis=0))
+
+    def test_seeds_actually_differ(self):
+        rep = run_replicated(CFG, n_seeds=2)
+        a = [row["total_bytes"] for row in rep.runs[0].schemes[0].rows]
+        b = [row["total_bytes"] for row in rep.runs[1].schemes[0].rows]
+        assert a != b  # different datasets/overlays -> different costs
+
+    def test_deterministic(self):
+        a = run_replicated(CFG, n_seeds=2)
+        b = run_replicated(CFG, n_seeds=2)
+        np.testing.assert_allclose(a.mean["G3"]["recall"], b.mean["G3"]["recall"])
+
+    def test_metrics_present(self):
+        rep = run_replicated(CFG, n_seeds=2)
+        for metric in ("recall", "hops", "total_bytes", "max_latency"):
+            assert metric in rep.mean["G3"]

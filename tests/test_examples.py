@@ -1,0 +1,60 @@
+"""Smoke tests: every example script must run end-to-end (reduced sizes
+are patched in where needed to keep CI fast)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "recall@10" in out
+        assert "overlay: 64 Chord nodes" in out
+
+    def test_dna_search(self, capsys):
+        out = _run("dna_search.py", capsys)
+        assert "hits from the query's own family" in out
+
+    def test_image_search(self, capsys):
+        out = _run("image_search.py", capsys)
+        assert "same template" in out
+
+    def test_multi_index(self, capsys):
+        out = _run("multi_index_demo.py", capsys)
+        assert "3 indexes" in out
+        assert "vectors" in out and "dna" in out and "docs" in out
+
+    def test_timeseries_search(self, capsys):
+        out = _run("timeseries_search.py", capsys)
+        assert "from the same family" in out
+        assert "traced query" in out
+
+    def test_knn_failures(self, capsys):
+        out = _run("knn_failures_demo.py", capsys)
+        assert "matches brute force=True" in out
+        assert "0 entries lost" in out
+
+    def test_experiment_harness(self, capsys):
+        out = _run("experiment_harness.py", capsys)
+        assert "self-check: 5 passed, 0 failed" in out
+        assert "3-seed replication" in out
+
+    @pytest.mark.slow
+    def test_document_search(self, capsys):
+        out = _run("document_search.py", capsys)
+        assert "recall@10" in out
+
+    @pytest.mark.slow
+    def test_load_balancing_demo(self, capsys):
+        out = _run("load_balancing_demo.py", capsys)
+        assert "dynamic load balancing" in out

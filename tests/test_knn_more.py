@@ -1,0 +1,94 @@
+"""Additional k-NN edge cases and cross-metric coverage."""
+
+import numpy as np
+import pytest
+
+from repro.core.knn import knn_search
+from repro.core.platform import IndexPlatform
+from repro.dht.ring import ChordRing
+from repro.eval.ground_truth import exact_top_k
+from repro.metric.strings import EditDistanceMetric
+from repro.metric.transforms import BoundedMetric
+from repro.metric.vector import ManhattanMetric
+from repro.sim.network import ConstantLatency
+
+
+class TestKnnAcrossMetrics:
+    def test_manhattan(self):
+        rng = np.random.default_rng(0)
+        metric = ManhattanMetric(box=(0, 100), dim=4)
+        centers = rng.uniform(0, 100, size=(3, 4))
+        data = np.clip(centers[rng.integers(0, 3, 300)] + rng.normal(0, 4, (300, 4)), 0, 100)
+        ring = ChordRing.build(12, m=24, seed=0, latency=ConstantLatency(12, 0.01))
+        platform = IndexPlatform(ring)
+        platform.create_index("l1", data, metric, k=3, seed=1)
+        res = knn_search(platform, "l1", data[5], k=8)
+        truth = exact_top_k(data, metric, data[5], 8)
+        assert res.exact
+        assert set(res.object_ids.tolist()) == set(int(t) for t in truth)
+
+    def test_strings_bounded_metric(self):
+        seqs = [
+            "acgtacgtaa", "acgtacgtac", "acgtacgttt",
+            "ttttggggcc", "ttttggggca", "ttttggggaa",
+            "ggggccccaa", "ggggccccat",
+        ] * 6
+        metric = BoundedMetric(EditDistanceMetric())
+        ring = ChordRing.build(8, m=20, seed=0, latency=ConstantLatency(8, 0.01))
+        platform = IndexPlatform(ring)
+        platform.create_index(
+            "dna", seqs, metric, k=2, selection="kmedoids", boundary="metric",
+            sample_size=30, seed=2,
+        )
+        res = knn_search(platform, "dna", seqs[0], k=5)
+        truth = exact_top_k(seqs, metric, seqs[0], 5)
+        assert res.exact
+        # distances of the found set must match the optimal multiset
+        want = sorted(metric.distance(seqs[0], seqs[int(t)]) for t in truth)
+        got = sorted(res.distances.tolist())
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+
+class TestKnnParameters:
+    def _platform(self, seed=3):
+        rng = np.random.default_rng(seed)
+        metric = ManhattanMetric(box=(0, 100), dim=3)
+        data = rng.uniform(0, 100, size=(200, 3))
+        ring = ChordRing.build(10, m=20, seed=seed, latency=ConstantLatency(10, 0.01))
+        platform = IndexPlatform(ring)
+        platform.create_index("idx", data, metric, k=2, seed=seed)
+        return platform, data, metric
+
+    def test_growth_factor(self):
+        platform, data, metric = self._platform()
+        slow = knn_search(platform, "idx", data[0], k=5, initial_radius=1.0, growth=1.5)
+        fast = knn_search(platform, "idx", data[0], k=5, initial_radius=1.0, growth=4.0)
+        assert slow.rounds >= fast.rounds
+        assert set(slow.object_ids.tolist()) == set(fast.object_ids.tolist())
+
+    def test_max_rounds_cap(self):
+        platform, data, metric = self._platform()
+        res = knn_search(
+            platform, "idx", data[0], k=50, initial_radius=1e-6, growth=1.01,
+            max_rounds=2,
+        )
+        assert res.rounds == 2  # capped before certification
+
+    def test_k_one(self):
+        platform, data, metric = self._platform()
+        res = knn_search(platform, "idx", data[7], k=1)
+        assert res.object_ids.tolist() == [7]
+        assert res.distances[0] == 0.0
+
+    def test_query_not_in_dataset(self):
+        platform, data, metric = self._platform()
+        probe = np.full(3, 50.0)
+        res = knn_search(platform, "idx", probe, k=10)
+        truth = exact_top_k(data, metric, probe, 10)
+        assert set(res.object_ids.tolist()) == set(int(t) for t in truth)
+
+    def test_source_node_choice(self):
+        platform, data, metric = self._platform()
+        a = knn_search(platform, "idx", data[0], k=5, source_node=platform.ring.nodes()[0])
+        b = knn_search(platform, "idx", data[0], k=5, source_node=platform.ring.nodes()[5])
+        assert set(a.object_ids.tolist()) == set(b.object_ids.tolist())

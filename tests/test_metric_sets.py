@@ -1,0 +1,80 @@
+"""Tests for the Jaccard set metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metric.base import check_metric_axioms
+from repro.metric.sets import JaccardMetric
+
+small_sets = st.frozensets(st.integers(0, 12), max_size=8)
+
+
+class TestJaccard:
+    def test_known_values(self):
+        m = JaccardMetric()
+        assert m.distance({1, 2}, {1, 2}) == 0.0
+        assert m.distance({1}, {2}) == 1.0
+        assert m.distance({1, 2}, {2, 3}) == pytest.approx(2 / 3)
+
+    def test_empty_sets(self):
+        m = JaccardMetric()
+        assert m.distance(set(), set()) == 0.0
+        assert m.distance(set(), {1}) == 1.0
+
+    def test_accepts_iterables(self):
+        m = JaccardMetric()
+        assert m.distance([1, 2, 2], (2, 1)) == 0.0  # duplicates collapse
+
+    def test_bounded(self):
+        assert JaccardMetric().is_bounded
+        assert JaccardMetric().upper_bound == 1.0
+
+    def test_one_to_many(self):
+        m = JaccardMetric()
+        out = m.one_to_many({1, 2}, [{1, 2}, {1}, {3}])
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_axioms(self):
+        sample = [frozenset(s) for s in ({1}, {1, 2}, {2, 3}, {4}, set(), {1, 2, 3, 4})]
+        check_metric_axioms(JaccardMetric(), sample)
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_sets, small_sets, small_sets)
+    def test_triangle_property(self, a, b, c):
+        m = JaccardMetric()
+        assert m.distance(a, c) <= m.distance(a, b) + m.distance(b, c) + 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_sets, small_sets)
+    def test_symmetry_property(self, a, b):
+        m = JaccardMetric()
+        assert m.distance(a, b) == pytest.approx(m.distance(b, a))
+
+    def test_indexable_on_platform(self):
+        """End-to-end: a Jaccard index over tag sets on the platform."""
+        from repro.core.platform import IndexPlatform
+        from repro.dht.ring import ChordRing
+
+        rng = np.random.default_rng(0)
+        universe = list(range(40))
+        base_a = set(range(0, 12))
+        base_b = set(range(20, 32))
+        data = []
+        for i in range(120):
+            base = base_a if i % 2 == 0 else base_b
+            s = set(base)
+            for _ in range(3):  # jitter membership
+                s.symmetric_difference_update({int(rng.integers(0, 40))})
+            data.append(frozenset(s))
+        ring = ChordRing.build(8, m=18, seed=0)
+        platform = IndexPlatform(ring)
+        platform.create_index(
+            "tags", data, JaccardMetric(), k=3, selection="kmedoids",
+            boundary="metric", sample_size=60, seed=1,
+        )
+        res = platform.query("tags", data[0], radius=0.5, top_k=10)
+        assert res and res[0].object_id == 0
+        # same-family sets dominate the neighbourhood
+        fams = [e.object_id % 2 for e in res]
+        assert fams.count(0) > len(fams) / 2

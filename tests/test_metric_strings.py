@@ -1,0 +1,108 @@
+"""Tests for edit-distance / Hamming metrics, including property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metric.base import check_metric_axioms
+from repro.metric.strings import EditDistanceMetric, HammingMetric, edit_distance
+
+words = st.text(alphabet="acgt", max_size=12)
+
+
+class TestEditDistanceFunction:
+    @pytest.mark.parametrize(
+        "a,b,d",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("intention", "execution", 5),
+            ("abc", "abc", 0),
+            ("abc", "abd", 1),
+            ("abc", "acb", 2),
+        ],
+    )
+    def test_known_values(self, a, b, d):
+        assert edit_distance(a, b) == d
+
+    def test_cutoff_short_circuits(self):
+        assert edit_distance("aaaa", "bbbb", cutoff=2) == 3
+
+    def test_cutoff_exact_when_within(self):
+        assert edit_distance("kitten", "sitting", cutoff=5) == 3
+
+    def test_cutoff_length_difference(self):
+        assert edit_distance("a", "aaaaaa", cutoff=2) == 3
+
+    @settings(max_examples=80, deadline=None)
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @settings(max_examples=80, deadline=None)
+    @given(words, words)
+    def test_bounds(self, a, b):
+        d = edit_distance(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @settings(max_examples=40, deadline=None)
+    @given(words, words, words)
+    def test_triangle(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    @settings(max_examples=60, deadline=None)
+    @given(words)
+    def test_reflexive(self, a):
+        assert edit_distance(a, a) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(words, st.integers(0, 11), st.sampled_from("acgt"))
+    def test_single_substitution_at_most_one(self, a, pos, ch):
+        if not a:
+            return
+        pos %= len(a)
+        b = a[:pos] + ch + a[pos + 1 :]
+        assert edit_distance(a, b) <= 1
+
+
+class TestEditDistanceMetric:
+    def test_axioms(self):
+        sample = ["acgt", "acct", "tttt", "", "acgtacgt", "gg"]
+        check_metric_axioms(EditDistanceMetric(), sample)
+
+    def test_one_to_many(self):
+        m = EditDistanceMetric()
+        out = m.one_to_many("abc", ["abc", "abd", "xyz"])
+        np.testing.assert_array_equal(out, [0, 1, 3])
+
+    def test_bounded_variant(self):
+        m = EditDistanceMetric(max_length=10)
+        assert m.is_bounded and m.upper_bound == 10.0
+
+    def test_unbounded_by_default(self):
+        assert not EditDistanceMetric().is_bounded
+
+
+class TestHamming:
+    def test_known(self):
+        assert HammingMetric().distance("karolin", "kathrin") == 3.0
+
+    def test_requires_equal_length(self):
+        with pytest.raises(ValueError):
+            HammingMetric().distance("ab", "abc")
+
+    def test_one_to_many(self):
+        out = HammingMetric().one_to_many("abc", ["abc", "abd", "xbd"])
+        np.testing.assert_array_equal(out, [0, 1, 2])
+
+    def test_dominates_is_dominated_by_edit(self):
+        # edit distance <= hamming for equal-length strings
+        a, b = "acgtacgt", "acctacct"
+        assert edit_distance(a, b) <= HammingMetric().distance(a, b)
+
+    def test_axioms(self):
+        sample = ["aaaa", "aabb", "abab", "bbbb"]
+        check_metric_axioms(HammingMetric(), sample)

@@ -1,0 +1,126 @@
+"""Coverage for small public surfaces: MetricSpace, report formatting,
+bit-helper edges, simulator corners, hashing determinism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.eval.report import _fmt, format_dict, format_sweep, format_table
+from repro.metric.base import MetricSpace
+from repro.metric.vector import EuclideanMetric
+from repro.sim.engine import Simulator
+from repro.util.bits import clear_trailing, key_to_bits, pad_prefix, prefix_of
+
+
+class TestMetricSpace:
+    def test_wrapper(self):
+        data = np.array([[0.0, 0.0], [3.0, 4.0], [6.0, 8.0]])
+        space = MetricSpace(objects=data, metric=EuclideanMetric(), name="pts")
+        assert len(space) == 3
+        np.testing.assert_array_equal(space[1], [3.0, 4.0])
+        np.testing.assert_allclose(space.distances_from(np.zeros(2)), [0.0, 5.0, 10.0])
+        assert space.name == "pts"
+
+
+class TestReportFormatting:
+    def test_fmt_variants(self):
+        assert _fmt(0.0) == "0"
+        assert _fmt(1234.5) == "1234"
+        assert _fmt(3.14159) == "3.14"
+        assert _fmt(0.01234) == "0.0123"
+        assert _fmt("abc") == "abc"
+        assert _fmt(7) == "7"
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_dict_empty(self):
+        assert format_dict({}) == ""
+        assert format_dict({}, title="T") == "T"
+
+    def test_sweep_single_scheme(self):
+        from repro.eval.runner import ExperimentConfig, ExperimentResult, Scheme, SchemeResult
+
+        cfg = ExperimentConfig(schemes=(Scheme("X", "greedy", 2),), range_factors=(0.1,))
+        res = ExperimentResult(config=cfg)
+        sr = SchemeResult(scheme=cfg.schemes[0])
+        sr.rows = [{"range_factor": 0.1, "recall": 0.5, "hops": 3.0}]
+        res.schemes = [sr]
+        out = format_sweep(res, metrics=("recall", "hops"))
+        assert "X" in out and "10%" in out
+
+    def test_experiment_result_scheme_lookup(self):
+        from repro.eval.runner import ExperimentConfig, ExperimentResult, Scheme, SchemeResult
+
+        cfg = ExperimentConfig(schemes=(Scheme("X", "greedy", 2),))
+        res = ExperimentResult(config=cfg)
+        res.schemes = [SchemeResult(scheme=cfg.schemes[0])]
+        assert res.scheme("X").scheme.label == "X"
+        with pytest.raises(KeyError):
+            res.scheme("nope")
+
+
+class TestBitsEdges:
+    def test_clear_trailing_alias(self):
+        assert clear_trailing(0b1111, 2, 4) == prefix_of(0b1111, 2, 4)
+
+    def test_m64(self):
+        key = (1 << 64) - 1
+        assert key_to_bits(key, 64) == "1" * 64
+        assert prefix_of(key, 64, 64) == key
+        assert pad_prefix(0b1, 1, 64) == 1 << 63
+
+    def test_pad_zero_length(self):
+        assert pad_prefix(0, 0, 8) == 0
+
+
+class TestSimulatorCorners:
+    def test_run_empty_queue_with_until(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_run_empty_no_until(self):
+        sim = Simulator()
+        sim.run()
+        assert sim.now == 0.0
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule_in(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_until_exactly_at_event(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule_at(2.0, hits.append, 1)
+        sim.run(until=2.0)
+        assert hits == [1]
+
+
+class TestHashingDeterminism:
+    def test_node_ids_stable_across_rings(self):
+        from repro.dht.ring import ChordRing
+
+        a = ChordRing.build(10, m=20, seed=0)
+        b = ChordRing.build(10, m=20, seed=0)
+        assert [n.id for n in a.nodes()] == [n.id for n in b.nodes()]
+
+    def test_rotation_offsets_distinct_per_index(self):
+        from repro.dht.hashing import rotation_offset
+
+        offs = {rotation_offset(f"index-{i}", 32) for i in range(20)}
+        assert len(offs) == 20
+
+
+class TestBoundedMetricEdge:
+    def test_infinite_radius(self):
+        from repro.metric.transforms import BoundedMetric
+
+        assert BoundedMetric.to_bounded_radius(float("inf")) == 1.0
+        m = BoundedMetric(EuclideanMetric())
+        assert m.to_inner_radius(1.0) == float("inf")

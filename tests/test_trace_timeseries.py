@@ -1,0 +1,98 @@
+"""Tests for the time-series generator and the query tracer."""
+
+import numpy as np
+import pytest
+
+from repro.core.platform import IndexPlatform
+from repro.core.trace import TracingProtocol
+from repro.datasets.timeseries import TimeSeriesFamilyConfig, generate_timeseries
+from repro.dht.ring import ChordRing
+from repro.metric.vector import ManhattanMetric
+from repro.sim.stats import StatsCollector
+
+
+class TestTimeSeries:
+    CFG = TimeSeriesFamilyConfig(n_series=200, n_templates=4, length=32, noise=0.1)
+
+    def test_shapes(self):
+        series, fam = generate_timeseries(self.CFG, 0)
+        assert series.shape == (200, 32)
+        assert fam.shape == (200,)
+        assert fam.max() < 4
+
+    def test_deterministic(self):
+        a, _ = generate_timeseries(self.CFG, 5)
+        b, _ = generate_timeseries(self.CFG, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_clipped_to_domain(self):
+        series, _ = generate_timeseries(self.CFG, 0)
+        assert series.min() >= self.CFG.low
+        assert series.max() <= self.CFG.high
+
+    def test_family_structure(self):
+        """Same-family series are closer under L1 than cross-family."""
+        series, fam = generate_timeseries(self.CFG, 0)
+        m = ManhattanMetric()
+        same, cross = [], []
+        for i in range(40):
+            for j in range(i + 1, 40):
+                d = m.distance(series[i], series[j])
+                (same if fam[i] == fam[j] else cross).append(d)
+        assert np.mean(same) < np.mean(cross)
+
+
+class TestTracer:
+    def _traced_query(self, radius=20.0):
+        rng = np.random.default_rng(0)
+        series, _ = generate_timeseries(
+            TimeSeriesFamilyConfig(n_series=300, n_templates=4, length=16), 0
+        )
+        metric = ManhattanMetric(box=(-50, 50), dim=16)
+        ring = ChordRing.build(16, m=20, seed=0)
+        platform = IndexPlatform(ring)
+        platform.create_index("s", series, metric, k=3, sample_size=150, seed=1)
+        stats = StatsCollector()
+        proto = TracingProtocol(platform.sim, platform.indexes["s"], stats)
+        q = platform.indexes["s"].make_query(series[0], radius, qid=0)
+        proto.issue(q, ring.nodes()[0])
+        platform.sim.run()
+        return proto.traces[0], stats, platform
+
+    def test_trace_structure(self):
+        trace, stats, _ = self._traced_query()
+        assert trace.routes()  # at least the initial routing step
+        assert trace.solves()  # something got answered
+        # the first event is the issuing node's QueryRouting at hop 0
+        assert trace.events[0].kind == "route"
+        assert trace.events[0].hops == 0
+
+    def test_prefix_never_shrinks_along_hops(self):
+        """Later hops refine prefixes; hops and time are non-decreasing in
+        trace order (event order == execution order)."""
+        trace, _, _ = self._traced_query()
+        times = [e.time for e in trace.events]
+        assert all(t2 >= t1 for t1, t2 in zip(times, times[1:]))
+
+    def test_solve_key_ranges_disjoint(self):
+        """Every local solve claims a key interval; intervals never overlap
+        (this is what prevents duplicate results)."""
+        trace, _, _ = self._traced_query(radius=60.0)
+        ranges = sorted((e.key_lo, e.key_hi) for e in trace.solves())
+        for (a1, b1), (a2, b2) in zip(ranges, ranges[1:]):
+            assert b1 < a2, f"overlapping solve ranges {(a1, b1)} and {(a2, b2)}"
+
+    def test_solved_nodes_match_stats(self):
+        trace, stats, _ = self._traced_query()
+        st = stats.for_query(0)
+        assert {e.node_id for e in trace.solves()} == st.index_nodes
+
+    def test_render(self):
+        trace, _, _ = self._traced_query()
+        text = trace.render(m=20, limit=5)
+        assert "query 0" in text
+        assert "route" in text
+
+    def test_nodes_visited_superset_of_solvers(self):
+        trace, _, _ = self._traced_query()
+        assert {e.node_id for e in trace.solves()} <= trace.nodes_visited()

@@ -1,0 +1,127 @@
+"""Unit + property tests for m-bit identifier helpers (left-indexed bits)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bits import (
+    bit_at,
+    bits_to_key,
+    clear_bit_at,
+    first_zero_bit,
+    key_to_bits,
+    pad_prefix,
+    prefix_of,
+    same_prefix,
+    set_bit_at,
+)
+
+M = 16
+
+
+class TestBitAt:
+    def test_msb_is_position_one(self):
+        assert bit_at(0b1000_0000_0000_0000, 1, M) == 1
+        assert bit_at(0b0111_1111_1111_1111, 1, M) == 0
+
+    def test_lsb_is_position_m(self):
+        assert bit_at(1, M, M) == 1
+        assert bit_at(0, M, M) == 0
+
+    def test_middle(self):
+        key = 0b0010_0000_0000_0000
+        assert bit_at(key, 3, M) == 1
+        assert bit_at(key, 2, M) == 0
+        assert bit_at(key, 4, M) == 0
+
+    @pytest.mark.parametrize("pos", [0, -1, M + 1])
+    def test_out_of_range(self, pos):
+        with pytest.raises(ValueError):
+            bit_at(0, pos, M)
+
+
+class TestSetClear:
+    def test_set_then_read(self):
+        key = set_bit_at(0, 5, M)
+        assert bit_at(key, 5, M) == 1
+        assert key == 1 << (M - 5)
+
+    def test_set_is_idempotent(self):
+        key = set_bit_at(set_bit_at(0, 5, M), 5, M)
+        assert key == 1 << (M - 5)
+
+    def test_clear_undoes_set(self):
+        key = clear_bit_at(set_bit_at(0b1010, 5, M), 5, M)
+        assert key == 0b1010
+
+    @given(st.integers(0, 2**M - 1), st.integers(1, M))
+    def test_set_clear_roundtrip(self, key, i):
+        assert bit_at(set_bit_at(key, i, M), i, M) == 1
+        assert bit_at(clear_bit_at(key, i, M), i, M) == 0
+
+
+class TestPrefix:
+    def test_zero_length(self):
+        assert prefix_of(0xABCD, 0, M) == 0
+
+    def test_full_length(self):
+        assert prefix_of(0xABCD, M, M) == 0xABCD
+
+    def test_padding_zeroes_suffix(self):
+        # 0b0110... prefix "011" of the paper's figure 1 example.
+        key = pad_prefix(0b011, 3, M)
+        assert key == 0b0110_0000_0000_0000
+        assert prefix_of(key, 3, M) == key
+
+    def test_pad_rejects_wide_value(self):
+        with pytest.raises(ValueError):
+            pad_prefix(0b1000, 3, M)
+
+    @given(st.integers(0, 2**M - 1), st.integers(0, M))
+    def test_prefix_idempotent(self, key, ln):
+        p = prefix_of(key, ln, M)
+        assert prefix_of(p, ln, M) == p
+
+    @given(st.integers(0, 2**M - 1), st.integers(0, M))
+    def test_prefix_shares_prefix(self, key, ln):
+        assert same_prefix(key, prefix_of(key, ln, M), ln, M)
+
+    @given(st.integers(0, 2**M - 1), st.integers(0, M), st.integers(0, M))
+    def test_prefix_monotone(self, key, a, b):
+        # Agreeing on a longer prefix implies agreeing on any shorter one.
+        lo, hi = sorted((a, b))
+        other = prefix_of(key, hi, M)
+        assert same_prefix(key, other, lo, M)
+
+
+class TestFirstZeroBit:
+    def test_all_ones_returns_none(self):
+        assert first_zero_bit(2**M - 1, 1, M) is None
+
+    def test_all_zeros_returns_start(self):
+        assert first_zero_bit(0, 1, M) == 1
+        assert first_zero_bit(0, 7, M) == 7
+
+    def test_start_beyond_m(self):
+        assert first_zero_bit(0, M + 1, M) is None
+
+    def test_finds_first_not_any(self):
+        # key = 1101... -> first zero from position 1 is position 3.
+        key = bits_to_key("1101" + "1" * (M - 4))
+        assert first_zero_bit(key, 1, M) == 3
+        # searching after position 3 skips it
+        assert first_zero_bit(key, 4, M) is None
+
+    @given(st.integers(0, 2**M - 1), st.integers(1, M))
+    def test_matches_reference(self, key, start):
+        bits = key_to_bits(key, M)
+        expected = next((i for i in range(start, M + 1) if bits[i - 1] == "0"), None)
+        assert first_zero_bit(key, start, M) == expected
+
+
+class TestBitsRoundtrip:
+    @given(st.integers(0, 2**M - 1))
+    def test_roundtrip(self, key):
+        assert bits_to_key(key_to_bits(key, M)) == key
+
+    def test_string_length(self):
+        assert len(key_to_bits(5, M)) == M

@@ -1,0 +1,29 @@
+"""Tests for the installation self-check battery."""
+
+from repro.eval.validate import CheckResult, self_check
+
+
+class TestSelfCheck:
+    def test_all_pass(self):
+        result = self_check(seed=0)
+        assert result.ok, str(result)
+        assert len(result.passed) == 5
+        assert result.failed == []
+
+    def test_different_seed_still_passes(self):
+        assert self_check(seed=99).ok
+
+    def test_report_renders(self):
+        out = str(self_check(seed=1))
+        assert "passed" in out
+        assert "[ok]" in out
+
+    def test_failure_is_reported_not_raised(self):
+        result = CheckResult()
+        from repro.eval.validate import _check
+
+        _check(result, "boom", lambda: 1 / 0)
+        assert not result.ok
+        assert result.failed[0][0] == "boom"
+        assert "ZeroDivisionError" in result.failed[0][1]
+        assert "[FAIL]" in str(result)
