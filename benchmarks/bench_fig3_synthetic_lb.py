@@ -11,7 +11,7 @@ recall is still achievable at a reasonable cost.
 
 from benchmarks.conftest import bench_overrides, run_once
 from repro.eval.experiments import figure3_config
-from repro.eval.report import format_dict, format_sweep
+from repro.eval.report import format_sweep
 from repro.eval.runner import run_experiment
 
 

@@ -7,12 +7,8 @@ nodes, i.e. ~1.7x the mean of ~57).  At bench scale the comparable claim is
 max/mean staying small.
 """
 
-import numpy as np
 
 from benchmarks.conftest import bench_overrides, run_once
-from repro.core.loadbalance import dynamic_load_migration
-from repro.core.platform import IndexPlatform
-from repro.dht.ring import ChordRing
 from repro.eval.experiments import figure4_config
 from repro.eval.report import format_load_distribution
 from repro.eval.runner import build_bundle, run_scheme

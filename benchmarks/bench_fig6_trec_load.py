@@ -8,7 +8,6 @@ single key", so entries stay concentrated on few nodes even after balancing;
 k-means spreads them far better.
 """
 
-import numpy as np
 
 from benchmarks.conftest import bench_overrides, run_once
 from repro.eval.experiments import figure6_config

@@ -13,10 +13,12 @@ import pytest
 from repro.core.index_space import IndexSpaceBounds
 from repro.core.landmarks import greedy_selection
 from repro.core.lph import lp_hash_batch
-from repro.core.sfc import hilbert_encode, morton_encode, quantize
+from repro.core.platform import IndexPlatform
+from repro.core.sfc import morton_encode, quantize
 from repro.core.storage import Shard
 from repro.dht.ring import ChordRing
 from repro.metric.vector import EuclideanMetric
+from repro.sim.network import ConstantLatency
 
 RNG = np.random.default_rng(0)
 
@@ -89,6 +91,49 @@ class TestStorageKernels:
         )
         full = timeit.timeit(lambda: shard.range_search(lows, highs), number=50)
         assert narrow < full
+
+
+class TestQueryRouting:
+    """End-to-end query routing through the transport (the §4.1 hot loop)."""
+
+    @pytest.fixture(scope="class")
+    def routing_platform(self):
+        rng = np.random.default_rng(42)
+        centers = rng.uniform(0, 100, size=(4, 6))
+        data = np.clip(
+            centers[rng.integers(0, 4, size=5_000)] + rng.normal(0, 4, size=(5_000, 6)),
+            0,
+            100,
+        )
+        latency = ConstantLatency(64, delay=0.02)
+        ring = ChordRing.build(64, m=32, seed=1, latency=latency, pns=False)
+        platform = IndexPlatform(ring, latency=latency)
+        platform.create_index(
+            "bench", data, EuclideanMetric(box=(0, 100), dim=6),
+            k=4, sample_size=1000, seed=2,
+        )
+        return platform, data
+
+    def test_query_routing_throughput(self, benchmark, routing_platform):
+        """50 range queries routed and resolved per round, fresh protocol
+        each time (transport delivery, subquery fan-out, local solve,
+        result replies — everything between issue() and quiescence)."""
+        platform, data = routing_platform
+        index = platform.indexes["bench"]
+        nodes = platform.ring.nodes()
+        queries = [index.make_query(data[i], 10.0, qid=i) for i in range(50)]
+
+        def route_batch():
+            platform.sim.reset()
+            proto, stats = platform.protocol("bench")
+            for i, q in enumerate(queries):
+                proto.issue(q, nodes[i % len(nodes)])
+            platform.sim.run()
+            return stats
+
+        stats = benchmark(route_batch)
+        assert len(stats) == 50
+        assert all(st.result_messages > 0 for st in stats.queries.values())
 
 
 class TestRingKernels:

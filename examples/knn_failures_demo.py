@@ -13,7 +13,6 @@ Extensions beyond the paper's evaluation (DESIGN.md §5b):
 Run:  python examples/knn_failures_demo.py
 """
 
-import numpy as np
 
 from repro import ChordRing, EuclideanMetric, IndexPlatform
 from repro.core.knn import knn_search

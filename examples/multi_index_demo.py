@@ -15,7 +15,6 @@ DHT links.
 Run:  python examples/multi_index_demo.py
 """
 
-import numpy as np
 
 from repro import (
     ChordRing,

@@ -111,7 +111,6 @@ def _run_figure(args) -> None:
 
 
 def _run_table1(args) -> None:
-    import numpy as np
 
     from repro.datasets.synthetic import generate_clustered, paper_table1_config
     from repro.eval.report import format_table

@@ -23,7 +23,7 @@ sample of the network's data (§3.1); new nodes fetch the set from any member.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any
 
 import numpy as np
 from scipy import sparse

@@ -12,8 +12,10 @@ granularity* (descending only while a cuboid spans more than one owner, so
 the subquery count equals the number of index nodes touched — the best case
 for the naive scheme) and performs an **independent Chord lookup per
 subquery**, with no path sharing, no bundling and no surrogate refinement.
-Every lookup hop is a separate query message; this is what the embedded-tree
-routing amortises away.
+Every lookup hop is a separate query message delivered through the shared
+transport (so naive routing degrades under the same injected faults as the
+embedded-tree routing it is compared against); this per-hop cost is what the
+embedded-tree routing amortises away.
 """
 
 from __future__ import annotations
@@ -23,7 +25,7 @@ import numpy as np
 from repro.core.query import RangeQuery, Rect
 from repro.core.routing import QueryProtocol
 from repro.core.lph import prefix_to_cuboid
-from repro.util.bits import pad_prefix
+from repro.sim.messages import query_message_size
 
 __all__ = ["NaiveProtocol", "decompose_to_owner_cuboids"]
 
@@ -102,7 +104,7 @@ class NaiveProtocol(QueryProtocol):
         if at_time is None:
             self._issue_now(node, query)
         else:
-            self.sim.schedule_at(at_time, self._issue_now, node, query)
+            self.transport.at(at_time, self._issue_now, node, query)
 
     def _issue_now(self, node, query: RangeQuery) -> None:
         pieces = decompose_to_owner_cuboids(self.index, query.rect)
@@ -123,17 +125,20 @@ class NaiveProtocol(QueryProtocol):
         """Walk the Chord lookup path hop by hop, one message per hop."""
         target = self._rotate(sq.prefix_key)
         path = self.index.ring.lookup_path(node, target)
-        st = self.stats.for_query(sq.qid)
-        arrival = self.sim.now
-        hops = 0
-        for prev, nxt in zip(path[:-1], path[1:]):
-            from repro.sim.messages import query_message_size
+        self._lookup_hop(path, 0, sq, 0)
 
-            st.record_query_message(query_message_size(1, self.index.k))
-            arrival += self.latency.latency(prev.host, nxt.host) if self.latency else 0.0
-            hops += 1
-        owner = path[-1]
-        key_lo, key_hi = self._claimed_range(sq)
-        self.sim.schedule_at(
-            max(arrival, self.sim.now), self._solve_local, owner, sq, hops, key_lo, key_hi
+    def _lookup_hop(self, path, i: int, sq: RangeQuery, hops: int) -> None:
+        node = path[i]
+        if i == len(path) - 1:
+            key_lo, key_hi = self._claimed_range(sq)
+            self._solve_local(node, sq, hops, key_lo, key_hi)
+            return
+        nxt = path[i + 1]
+        size = query_message_size(1, self.index.k)
+        self.stats.for_query(sq.qid).record_query_message(size)
+        self.note_traffic(node, nxt)
+        self.transport.send(
+            node, nxt, self._lookup_hop, path, i + 1, sq, hops + 1,
+            kind="naive:lookup", size=size, qid=sq.qid,
+            on_drop=self._count_drop(sq.qid),
         )

@@ -22,7 +22,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.core.index_space import IndexSpace
-from repro.core.landmarks import LandmarkSet, select_landmarks
+from repro.core.landmarks import select_landmarks
 from repro.core.lph import lp_hash_batch
 from repro.core.query import RangeQuery
 from repro.core.routing import QueryProtocol
@@ -32,6 +32,7 @@ from repro.dht.ring import ChordRing
 from repro.metric.base import Metric
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatsCollector
+from repro.sim.transport import FaultConfig, Transport, TraceSink
 from repro.util.rng import as_rng
 
 __all__ = ["QueryPayload", "LandmarkIndex", "IndexPlatform", "take"]
@@ -315,6 +316,16 @@ class IndexPlatform:
         Latency model shared with the ring (may be None for structural runs).
     sim:
         Discrete-event simulator (created on demand).
+    faults:
+        Optional :class:`repro.sim.transport.FaultConfig` — message loss,
+        delay jitter and partitions applied to every protocol on the
+        platform's shared transport.
+    trace:
+        Optional :class:`repro.sim.transport.TraceSink` receiving one record
+        per message the transport handles.
+    transport:
+        Pass an existing :class:`repro.sim.transport.Transport` to share it
+        (mutually exclusive with faults/trace, which configure a new one).
     """
 
     def __init__(
@@ -322,10 +333,24 @@ class IndexPlatform:
         ring: ChordRing,
         latency=None,
         sim: "Simulator | None" = None,
+        faults: "FaultConfig | None" = None,
+        trace: "TraceSink | None" = None,
+        transport: "Transport | None" = None,
     ):
         self.ring = ring
         self.latency = latency if latency is not None else ring.latency
-        self.sim = sim or Simulator()
+        if transport is not None:
+            if faults is not None or trace is not None:
+                raise ValueError("pass either transport= or faults=/trace=, not both")
+            self.transport = transport
+            self.sim = transport.sim
+            if transport.latency is not None:
+                self.latency = transport.latency
+        else:
+            self.sim = sim or Simulator()
+            self.transport = Transport(
+                sim=self.sim, latency=self.latency, faults=faults, trace=trace
+            )
         self.indexes: "dict[str, LandmarkIndex]" = {}
 
     # -- index lifecycle -------------------------------------------------------------
@@ -420,11 +445,15 @@ class IndexPlatform:
         stats: "StatsCollector | None" = None,
         **kwargs: Any,
     ) -> "tuple[QueryProtocol, StatsCollector]":
-        """A query protocol bound to one index (kwargs forwarded to it)."""
+        """A query protocol bound to one index (kwargs forwarded to it).
+
+        All protocols from one platform share its transport, so faults,
+        traces and the latency model are configured once, on the platform.
+        """
         # note: an empty StatsCollector is falsy (len == 0), so test identity
         stats = stats if stats is not None else StatsCollector()
         proto = QueryProtocol(
-            self.sim, self.indexes[name], stats, latency=self.latency, **kwargs
+            index=self.indexes[name], stats=stats, transport=self.transport, **kwargs
         )
         return proto, stats
 

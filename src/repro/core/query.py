@@ -15,7 +15,7 @@ one bit) or splits it into two subqueries, one per half.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np

@@ -15,6 +15,11 @@
   the query the node's ownership interval covers from local storage, carve
   out the remainder and re-route it.
 
+All network delivery — latency lookup, liveness checks, drop accounting,
+fault injection and per-message tracing — goes through the shared
+:class:`repro.sim.transport.Transport`; this module only decides *what* to
+send *where*.
+
 Two surrogate modes are provided:
 
 ``"fixed"`` (default)
@@ -48,28 +53,30 @@ import numpy as np
 from repro.core.query import RangeQuery, Rect, query_split
 from repro.core.lph import prefix_to_cuboid
 from repro.sim.messages import ResultEntry, ResultMessage, query_message_size
+from repro.sim.transport import Protocol
 from repro.util.bits import first_zero_bit, prefix_of, same_prefix, set_bit_at
 
 __all__ = ["QueryProtocol"]
 
 
-class QueryProtocol:
+class QueryProtocol(Protocol):
     """Event-driven executor of the range-query routing algorithms.
 
     Parameters
     ----------
     sim:
-        The discrete-event :class:`repro.sim.engine.Simulator`.
+        The discrete-event :class:`repro.sim.engine.Simulator` (ignored when
+        ``transport`` is given — the transport's simulator is used).
     index:
         A distributed landmark index (duck-typed; see
         :class:`repro.core.platform.LandmarkIndex`): must expose ``m``,
         ``k``, ``bounds``, ``rotation``, ``shards`` and
         ``refine_distances``.
     stats:
-        A :class:`repro.sim.stats.StatsCollector`.
+        A :class:`repro.sim.stats.StatsCollector` (created when omitted).
     latency:
         Optional latency model; ``None`` makes all messages instantaneous
-        (structural tests).
+        (structural tests).  Ignored when ``transport`` is given.
     surrogate_mode:
         ``"fixed"`` or ``"literal"`` (see module docstring).
     top_k:
@@ -80,33 +87,40 @@ class QueryProtocol:
     reply_empty:
         Whether index nodes owning no matching entries still send a (20-byte)
         reply; needed for the *maximum latency* metric to be observable.
+    maintenance:
+        Optional :class:`repro.dht.stabilize.StabilizationProtocol`; query
+        traffic is reported to it for §3.3 piggybacking.
+    transport:
+        A shared :class:`repro.sim.transport.Transport`; created from
+        ``sim``/``latency`` when omitted.
     """
 
     def __init__(
         self,
-        sim,
-        index,
-        stats,
+        sim=None,
+        index=None,
+        stats=None,
         latency=None,
         surrogate_mode: str = "fixed",
         top_k: int = 10,
         range_filter: bool = True,
         reply_empty: bool = True,
         maintenance=None,
+        transport=None,
     ):
         if surrogate_mode not in ("fixed", "literal"):
             raise ValueError(f"unknown surrogate_mode {surrogate_mode!r}")
-        self.sim = sim
+        if index is None:
+            raise TypeError("QueryProtocol needs an index")
+        super().__init__(
+            sim=sim, stats=stats, latency=latency,
+            transport=transport, maintenance=maintenance,
+        )
         self.index = index
-        self.stats = stats
-        self.latency = latency
         self.surrogate_mode = surrogate_mode
         self.top_k = top_k
         self.range_filter = range_filter
         self.reply_empty = reply_empty
-        #: optional StabilizationProtocol — query traffic is reported to it
-        #: so maintenance messages can piggyback on these links (§3.3).
-        self.maintenance = maintenance
 
     # -- key-space helpers ----------------------------------------------------
 
@@ -119,6 +133,15 @@ class QueryProtocol:
     def _next_hop(self, node, prefix_key: int):
         return node.next_hop(self._rotate(prefix_key))
 
+    def _count_drop(self, qid: int):
+        """A per-message drop callback attributing the loss to ``qid``."""
+        st = self.stats.for_query(qid)
+
+        def on_drop(_trace) -> None:
+            st.dropped_messages += 1
+
+        return on_drop
+
     # -- entry points ----------------------------------------------------------
 
     def issue(self, query: RangeQuery, node, at_time: "float | None" = None) -> None:
@@ -129,7 +152,7 @@ class QueryProtocol:
         if at_time is None:
             self._query_routing(node, query, 0)
         else:
-            self.sim.schedule_at(at_time, self._query_routing, node, query, 0)
+            self.transport.at(at_time, self._query_routing, node, query, 0)
 
     # -- Algorithm 3: QueryRouting ---------------------------------------------
 
@@ -169,23 +192,26 @@ class QueryProtocol:
 
     def _send(self, src, dest, kind: str, sqs: "list[RangeQuery]", hops: int) -> None:
         """Bundle subqueries sharing a next hop into one message (§4.1 size model)."""
+        qid = sqs[0].qid
         if dest is src:
             # Local hand-off (single-node ring): no network message.
-            self.sim.schedule_in(0.0, self._deliver, dest, kind, sqs, hops)
+            self.transport.send(
+                src, dest, self._open_bundle, dest, kind, sqs, hops,
+                kind=f"query:{kind}", size=0, qid=qid,
+                on_drop=self._count_drop(qid),
+            )
             return
-        st = self.stats.for_query(sqs[0].qid)
-        st.record_query_message(query_message_size(len(sqs), self.index.k))
-        if self.maintenance is not None:
-            self.maintenance.note_query_traffic(src.host, dest.host)
-        delay = self.latency.latency(src.host, dest.host) if self.latency else 0.0
-        self.sim.schedule_in(delay, self._deliver, dest, kind, sqs, hops + 1)
+        size = query_message_size(len(sqs), self.index.k)
+        self.stats.for_query(qid).record_query_message(size)
+        self.note_traffic(src, dest)
+        self.transport.send(
+            src, dest, self._open_bundle, dest, kind, sqs, hops + 1,
+            kind=f"query:{kind}", size=size, qid=qid,
+            on_drop=self._count_drop(qid),
+        )
 
-    def _deliver(self, dest, kind: str, sqs: "list[RangeQuery]", hops: int) -> None:
-        if not dest.alive:
-            # The destination crashed while the message was in flight; the
-            # whole bundle is lost (churn simulations measure this).
-            self.stats.for_query(sqs[0].qid).dropped_messages += 1
-            return
+    def _open_bundle(self, dest, kind: str, sqs: "list[RangeQuery]", hops: int) -> None:
+        """Unpack an arrived bundle (liveness already checked by transport)."""
         for sq in sqs:
             if kind == "routing":
                 self._query_routing(dest, sq, hops)
@@ -302,15 +328,14 @@ class QueryProtocol:
             st.record_result_message(0, self.sim.now)
             st.entries.extend(entries)
             return
-        if self.maintenance is not None:
-            self.maintenance.note_query_traffic(node.host, q.source.host)
-        delay = self.latency.latency(node.host, q.source.host) if self.latency else 0.0
-        self.sim.schedule_in(delay, self._arrive_result, q.qid, msg, q.source)
+        self.note_traffic(node, q.source)
+        self.transport.send(
+            node, q.source, self._arrive_result, q.qid, msg,
+            kind="result", size=msg.size, qid=q.qid,
+            on_drop=self._count_drop(q.qid),
+        )
 
-    def _arrive_result(self, qid: int, msg: ResultMessage, source=None) -> None:
+    def _arrive_result(self, qid: int, msg: ResultMessage) -> None:
         st = self.stats.for_query(qid)
-        if source is not None and not source.alive:
-            st.dropped_messages += 1
-            return
         st.record_result_message(msg.size, self.sim.now)
         st.entries.extend(msg.entries)

@@ -31,9 +31,10 @@ from repro.core.sfc import (
     morton_encode,
     quantize,
 )
+from repro.core.routing import QueryProtocol
 from repro.core.storage import Shard
 from repro.dht.idspace import in_interval_open_closed
-from repro.sim.messages import ResultEntry, ResultMessage, query_message_size
+from repro.sim.messages import query_message_size
 
 __all__ = ["SfcIndex", "SfcRangeProtocol"]
 
@@ -122,23 +123,16 @@ class SfcIndex:
         )
 
 
-class SfcRangeProtocol:
+class SfcRangeProtocol(QueryProtocol):
     """Route a rectangle's curve intervals to their owner chains.
 
-    Mirrors the cost interface of :class:`repro.core.routing.QueryProtocol`
-    (same :class:`StatsCollector` semantics) so the comparison benches can
-    treat both uniformly.
+    A :class:`repro.core.routing.QueryProtocol` subclass sharing its local
+    resolution, result replies and :class:`StatsCollector` semantics (so the
+    comparison benches treat both uniformly) — only query decomposition and
+    routing differ: each curve interval takes an independent hop-by-hop
+    Chord lookup through the shared transport, then walks successors across
+    the interval.
     """
-
-    def __init__(self, sim, index: SfcIndex, stats, latency=None, top_k: int = 10,
-                 range_filter: bool = True, reply_empty: bool = True):
-        self.sim = sim
-        self.index = index
-        self.stats = stats
-        self.latency = latency
-        self.top_k = top_k
-        self.range_filter = range_filter
-        self.reply_empty = reply_empty
 
     def issue(self, query: RangeQuery, node, at_time: "float | None" = None) -> None:
         query.source = node
@@ -147,66 +141,37 @@ class SfcRangeProtocol:
         if at_time is None:
             self._issue_now(node, query)
         else:
-            self.sim.schedule_at(at_time, self._issue_now, node, query)
+            self.transport.at(at_time, self._issue_now, node, query)
 
     def _issue_now(self, node, query: RangeQuery) -> None:
         for key_lo, key_hi in self.index.query_intervals(query.rect):
-            self._route_interval(node, query, key_lo, key_hi)
+            path = self.index.ring.lookup_path(node, key_lo)
+            self._lookup_hop(path, 0, query, key_lo, key_hi, 0)
 
-    def _route_interval(self, node, q: RangeQuery, key_lo: int, key_hi: int) -> None:
-        st = self.stats.for_query(q.qid)
-        path = self.index.ring.lookup_path(node, key_lo)
-        arrival = self.sim.now
-        hops = 0
-        for prev, nxt in zip(path[:-1], path[1:]):
-            st.record_query_message(query_message_size(1, self.index.k))
-            arrival += self.latency.latency(prev.host, nxt.host) if self.latency else 0.0
-            hops += 1
-        owner = path[-1]
-        # walk successors across the interval
-        m = self.index.m
-        while True:
-            self.sim.schedule_at(
-                max(arrival, self.sim.now),
-                self._solve_local, owner, q, hops, key_lo, key_hi,
-            )
-            if in_interval_open_closed(key_hi, owner.predecessor.id, owner.id, m):
-                break
-            nxt = owner.successor
-            if nxt is owner:
-                break
-            st.record_query_message(query_message_size(1, self.index.k))
-            arrival += self.latency.latency(owner.host, nxt.host) if self.latency else 0.0
-            hops += 1
-            owner = nxt
+    def _lookup_hop(self, path, i: int, q: RangeQuery, key_lo: int, key_hi: int, hops: int) -> None:
+        node = path[i]
+        if i == len(path) - 1:
+            self._walk_interval(node, q, key_lo, key_hi, hops)
+            return
+        nxt = path[i + 1]
+        self._hop_message(node, nxt, q, self._lookup_hop, path, i + 1, q, key_lo, key_hi, hops + 1)
 
-    def _solve_local(self, node, q: RangeQuery, hops: int, key_lo: int, key_hi: int) -> None:
-        st = self.stats.for_query(q.qid)
-        st.record_index_node(node.id, hops)
-        entries: "list[ResultEntry]" = []
-        shard = self.index.shards.get(node)
-        if shard is not None and len(shard):
-            pos = shard.range_search(q.rect.lows, q.rect.highs, key_lo, key_hi)
-            if len(pos):
-                object_ids = shard.object_ids[pos]
-                dists = self.index.refine_distances(q, shard.points[pos], object_ids)
-                if self.range_filter and q.radius is not None:
-                    keep = dists <= q.radius
-                    object_ids, dists = object_ids[keep], dists[keep]
-                if len(object_ids) > self.top_k:
-                    nearest = np.argpartition(dists, self.top_k)[: self.top_k]
-                    object_ids, dists = object_ids[nearest], dists[nearest]
-                entries = [ResultEntry(int(o), float(d)) for o, d in zip(object_ids, dists)]
-        if entries or self.reply_empty:
-            msg = ResultMessage(q.qid, entries, from_node=node.id)
-            if q.source is node:
-                st.record_result_message(0, self.sim.now)
-                st.entries.extend(entries)
-                return
-            delay = self.latency.latency(node.host, q.source.host) if self.latency else 0.0
-            self.sim.schedule_in(delay, self._arrive, q.qid, msg)
+    def _walk_interval(self, owner, q: RangeQuery, key_lo: int, key_hi: int, hops: int) -> None:
+        """Solve at the interval's current owner, then continue clockwise."""
+        self._solve_local(owner, q, hops, key_lo, key_hi)
+        if in_interval_open_closed(key_hi, owner.predecessor.id, owner.id, self.index.m):
+            return
+        nxt = owner.successor
+        if nxt is owner:
+            return
+        self._hop_message(owner, nxt, q, self._walk_interval, nxt, q, key_lo, key_hi, hops + 1)
 
-    def _arrive(self, qid: int, msg: ResultMessage) -> None:
-        st = self.stats.for_query(qid)
-        st.record_result_message(msg.size, self.sim.now)
-        st.entries.extend(msg.entries)
+    def _hop_message(self, src, dst, q: RangeQuery, handler, *args) -> None:
+        size = query_message_size(1, self.index.k)
+        self.stats.for_query(q.qid).record_query_message(size)
+        self.note_traffic(src, dst)
+        self.transport.send(
+            src, dst, handler, *args,
+            kind="scrap:interval", size=size, qid=q.qid,
+            on_drop=self._count_drop(q.qid),
+        )

@@ -8,7 +8,7 @@ theoretical maximum distance of the data space — from 0.1% to 20% (§4.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -17,7 +17,7 @@ valid finger); lookup latency drops.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left
 from typing import Iterable, Optional
 
 import numpy as np

@@ -17,17 +17,24 @@ three purposes:
    traffic rides along and only pays its payload bytes, not a packet of its
    own.  The ablation benchmark quantifies the saving under a live query
    workload.
+
+Control messages flow through the shared
+:class:`repro.sim.transport.Transport` (as synchronous, accounted hops —
+their latencies are negligible against the maintenance intervals), so
+injected faults degrade maintenance the same way they degrade queries: a
+lost stabilize request simply skips that round's repair.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.dht.idspace import in_interval_open, in_interval_open_closed
 from repro.dht.node import ChordNode
 from repro.dht.ring import ChordRing
+from repro.sim.transport import Protocol
 from repro.util.rng import as_rng
 
 __all__ = ["MaintenanceConfig", "MaintenanceStats", "StabilizationProtocol"]
@@ -68,7 +75,7 @@ class MaintenanceStats:
         return self.bytes
 
 
-class StabilizationProtocol:
+class StabilizationProtocol(Protocol):
     """Event-driven Chord maintenance over the discrete-event simulator.
 
     The protocol operates purely on node-local state (``successors``,
@@ -80,16 +87,19 @@ class StabilizationProtocol:
     def __init__(
         self,
         ring: ChordRing,
-        sim,
+        sim=None,
         latency=None,
         config: MaintenanceConfig = MaintenanceConfig(),
         seed: "int | np.random.Generator | None" = 0,
+        transport=None,
     ):
+        super().__init__(
+            sim=sim,
+            latency=latency if latency is not None else ring.latency,
+            transport=transport,
+        )
         self.ring = ring
-        self.sim = sim
-        self.latency = latency if latency is not None else ring.latency
         self.config = config
-        self.stats = MaintenanceStats()
         self.rng = as_rng(seed)
         self._running = False
         #: next finger level to fix, per node id
@@ -97,25 +107,33 @@ class StabilizationProtocol:
         #: last time a query message used the directed link (src_host, dst_host)
         self._link_query_time: "dict[tuple[int, int], float]" = {}
 
+    def default_stats(self) -> MaintenanceStats:
+        return MaintenanceStats()
+
     # -- piggyback plumbing ------------------------------------------------------
 
     def note_query_traffic(self, src_host: int, dst_host: int, at: "float | None" = None) -> None:
         """Record query traffic on a link (wired in by the query protocol)."""
         self._link_query_time[(src_host, dst_host)] = self.sim.now if at is None else at
 
-    def _control_message(self, src: ChordNode, dst: ChordNode) -> None:
-        """Account one control message from ``src`` to ``dst``."""
+    def _control_message(self, src: ChordNode, dst: ChordNode) -> bool:
+        """Account one control message from ``src`` to ``dst``.
+
+        Returns whether it was delivered; without injected faults that is
+        always True, so callers' early-outs are dead code in clean runs.
+        """
         if src is dst:
-            return
+            return True
         self.stats.messages += 1
+        size = CONTROL_MESSAGE_BYTES
         if self.config.piggyback:
             last = self._link_query_time.get((src.host, dst.host))
             if last is not None and self.sim.now - last <= self.config.piggyback_window:
                 self.stats.piggybacked += 1
-                self.stats.bytes += PIGGYBACK_PAYLOAD_BYTES
                 self.stats.bytes_saved += CONTROL_MESSAGE_BYTES - PIGGYBACK_PAYLOAD_BYTES
-                return
-        self.stats.bytes += CONTROL_MESSAGE_BYTES
+                size = PIGGYBACK_PAYLOAD_BYTES
+        self.stats.bytes += size
+        return self.transport.control(src, dst, kind="maintenance", size=size)
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -129,15 +147,15 @@ class StabilizationProtocol:
 
     def _schedule_node(self, node: ChordNode) -> None:
         jitter = float(self.rng.uniform(0.0, 1.0))
-        self.sim.schedule_in(
+        self.transport.timer(
             jitter + float(self.rng.uniform(0, self.config.stabilize_interval)),
             self._stabilize_tick, node,
         )
-        self.sim.schedule_in(
+        self.transport.timer(
             jitter + float(self.rng.uniform(0, self.config.fix_finger_interval)),
             self._fix_finger_tick, node,
         )
-        self.sim.schedule_in(
+        self.transport.timer(
             jitter + float(self.rng.uniform(0, self.config.successor_list_interval)),
             self._successor_list_tick, node,
         )
@@ -151,19 +169,19 @@ class StabilizationProtocol:
         if not self._active(node):
             return
         self.stabilize(node)
-        self.sim.schedule_in(self.config.stabilize_interval, self._stabilize_tick, node)
+        self.transport.timer(self.config.stabilize_interval, self._stabilize_tick, node)
 
     def _fix_finger_tick(self, node: ChordNode) -> None:
         if not self._active(node):
             return
         self.fix_next_finger(node)
-        self.sim.schedule_in(self.config.fix_finger_interval, self._fix_finger_tick, node)
+        self.transport.timer(self.config.fix_finger_interval, self._fix_finger_tick, node)
 
     def _successor_list_tick(self, node: ChordNode) -> None:
         if not self._active(node):
             return
         self.copy_successor_list(node)
-        self.sim.schedule_in(
+        self.transport.timer(
             self.config.successor_list_interval, self._successor_list_tick, node
         )
 
@@ -174,15 +192,37 @@ class StabilizationProtocol:
             node.successors.pop(0)
         return node.successors[0] if node.successors else None
 
+    def _recover_successor(self, node: ChordNode) -> "ChordNode | None":
+        """Emergency re-entry when the whole successor list died.
+
+        A node whose every known successor crashed can never repair through
+        the normal stabilize round (it has nobody to ask), so it falls back
+        to any live contact — its predecessor or a live finger — and lets
+        stabilisation walk from there back to the true successor.  This is
+        the Chord paper's "rejoin through any known live node".
+        """
+        pred = node.predecessor
+        if pred is not None and pred.alive and pred is not node:
+            return pred
+        for f in node.fingers:
+            if f.alive and f is not node:
+                return f
+        return None
+
     def stabilize(self, node: ChordNode) -> None:
         """``n.stabilize()``: verify the immediate successor, adopt a closer
         one learned from it, and notify it of our existence."""
         succ = self._first_live_successor(node)
         if succ is None:
-            return
+            succ = self._recover_successor(node)
+            if succ is None:
+                return
+            node.successors = [succ]
         # ask successor for its predecessor (request + response)
-        self._control_message(node, succ)
-        self._control_message(succ, node)
+        if not self._control_message(node, succ):
+            return
+        if not self._control_message(succ, node):
+            return
         x = succ.predecessor
         if (
             x is not None
@@ -194,8 +234,8 @@ class StabilizationProtocol:
             del node.successors[self.ring.successor_list_len :]
             succ = x
         # notify
-        self._control_message(node, succ)
-        self.notify(succ, node)
+        if self._control_message(node, succ):
+            self.notify(succ, node)
 
     def notify(self, node: ChordNode, candidate: ChordNode) -> None:
         """``n.notify(c)``: ``c`` believes it is our predecessor."""
@@ -212,8 +252,14 @@ class StabilizationProtocol:
         succ = self._first_live_successor(node)
         if succ is None or succ is node:
             return
-        self._control_message(node, succ)
-        self._control_message(succ, node)
+        if not self._control_message(node, succ):
+            return
+        if not self._control_message(succ, node):
+            return
+        node.successors = self._merged_successors(node, succ)
+
+    def _merged_successors(self, node: ChordNode, succ: ChordNode) -> "list[ChordNode]":
+        """``[succ] + succ.successors``, live, deduplicated, length-capped."""
         merged: "list[ChordNode]" = [succ]
         for s in succ.successors:
             if s is node or not s.alive:
@@ -222,13 +268,14 @@ class StabilizationProtocol:
                 merged.append(s)
             if len(merged) >= self.ring.successor_list_len:
                 break
-        node.successors = merged
+        return merged
 
     def local_lookup(self, start: ChordNode, key: int, max_hops: "int | None" = None) -> "tuple[ChordNode | None, int]":
         """Greedy lookup using only node-local (possibly stale) tables.
 
         Returns ``(owner_or_None, hops)``; each hop costs one control
-        message.  Dead next-hops are skipped (their entries are stale).
+        message.  Dead next-hops are skipped (their entries are stale); a
+        fault-dropped hop fails the lookup (a timeout in a real deployment).
         """
         limit = max_hops if max_hops is not None else 4 * self.ring.m + len(self.ring)
         current = start
@@ -239,8 +286,9 @@ class StabilizationProtocol:
                 return current, hops
             if in_interval_open_closed(key, current.id, succ.id, current.m):
                 if succ is not current:
-                    self._control_message(current, succ)
                     hops += 1
+                    if not self._control_message(current, succ):
+                        return None, hops
                 return succ, hops
             nh = current.next_hop(key)
             while nh is not current and not nh.alive:
@@ -249,8 +297,9 @@ class StabilizationProtocol:
                 break
             if nh is current:
                 return succ, hops
-            self._control_message(current, nh)
             hops += 1
+            if not self._control_message(current, nh):
+                return None, hops
             current = nh
         return None, hops
 
@@ -272,12 +321,24 @@ class StabilizationProtocol:
 
     def join(self, node_id: int, bootstrap: ChordNode, name: str = "", host: int = 0) -> ChordNode:
         """Protocol-level join: find the successor via lookup, splice in, and
-        start maintenance timers.  Tables converge via stabilisation."""
+        start maintenance timers.  Tables converge via stabilisation.
+
+        The joiner copies its successor's successor list in the same
+        handshake (one request/response pair): a freshly joined node whose
+        *only* known successor crashes before the first successor-list copy
+        tick would otherwise be stranded forever with an empty list.
+        """
         if node_id in self.ring.nodes_by_id:
             raise ValueError(f"identifier {node_id:#x} already on the ring")
         node = ChordNode(node_id, self.ring.m, name=name, host=host)
         owner, _ = self.local_lookup(bootstrap, node_id)
-        node.successors = [owner] if owner is not None else [node]
+        if owner is not None:
+            if self._control_message(node, owner) and self._control_message(owner, node):
+                node.successors = self._merged_successors(node, owner)
+            else:
+                node.successors = [owner]
+        else:
+            node.successors = [node]
         node.predecessor = None
         node.fingers = []
         # register in the ring's membership (oracle views used for verification)

@@ -8,7 +8,7 @@ against 1e5 100-d objects stay within memory.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any
 
 import numpy as np
 

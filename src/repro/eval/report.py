@@ -6,7 +6,6 @@ to the paper's reported numbers.
 
 from __future__ import annotations
 
-import numpy as np
 
 __all__ = ["format_table", "format_sweep", "format_load_distribution", "format_dict"]
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.loadbalance import LoadBalanceReport, dynamic_load_migration
-from repro.core.platform import IndexPlatform, take
+from repro.core.platform import IndexPlatform
 from repro.datasets.documents import SyntheticCorpusConfig, generate_corpus, generate_topics
 from repro.datasets.queries import QueryWorkload, repeat_topics, synthetic_query_points
 from repro.datasets.synthetic import ClusteredGaussianConfig, generate_clustered
@@ -23,6 +23,7 @@ from repro.eval.ground_truth import batch_exact_top_k
 from repro.eval.metrics import load_summary, workload_recall
 from repro.metric.cosine import SparseAngularMetric
 from repro.metric.vector import EuclideanMetric
+from repro.sim.transport import FaultConfig
 from repro.util.rng import as_rng, spawn_rngs
 
 __all__ = [
@@ -89,6 +90,9 @@ class ExperimentConfig:
     mean_rtt: float = 0.180
     seed: int = 0
     corpus_scale: float = 0.1  # trec only: fraction of the full AP corpus
+    #: Optional transport fault model (loss / jitter / partitions) applied to
+    #: every message of every scheme run; None = the paper's fault-free runs.
+    faults: "FaultConfig | None" = None
 
 
 @dataclass
@@ -192,7 +196,7 @@ def _build_platform(cfg: ExperimentConfig, seed_offset: int = 0):
         pns=cfg.pns,
         successor_list_len=cfg.successor_list_len,
     )
-    return IndexPlatform(ring, latency=latency)
+    return IndexPlatform(ring, latency=latency, faults=cfg.faults)
 
 
 def run_scheme(

@@ -53,7 +53,6 @@ def self_check(seed: int = 0) -> CheckResult:
         from repro.metric import (
             EuclideanMetric,
             JaccardMetric,
-            SparseAngularMetric,
             check_metric_axioms,
         )
 

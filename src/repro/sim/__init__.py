@@ -21,6 +21,16 @@ from repro.sim.messages import (
 )
 from repro.sim.network import ConstantLatency, EuclideanLatency, LatencyModel, MatrixLatency
 from repro.sim.stats import QueryStats, StatsCollector
+from repro.sim.transport import (
+    FaultConfig,
+    JsonlTraceSink,
+    MemoryTraceSink,
+    MessageTrace,
+    Protocol,
+    TraceSink,
+    Transport,
+    TransportStats,
+)
 
 __all__ = [
     "Simulator",
@@ -39,4 +49,12 @@ __all__ = [
     "result_message_size",
     "QueryStats",
     "StatsCollector",
+    "Transport",
+    "TransportStats",
+    "Protocol",
+    "FaultConfig",
+    "MessageTrace",
+    "TraceSink",
+    "MemoryTraceSink",
+    "JsonlTraceSink",
 ]

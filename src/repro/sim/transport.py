@@ -1,0 +1,399 @@
+"""Unified message transport: delivery, faults and per-message tracing.
+
+Every message-passing protocol in the library (query routing, Chord
+stabilisation, the naive flooding baseline, SCRAP interval routing) delivers
+through one :class:`Transport`.  The transport owns the four concerns the
+protocols used to hand-roll separately:
+
+1. **latency-model lookup** — one-way delay between the endpoints' hosts;
+2. **destination-liveness checks** — a message arriving at a crashed node is
+   dropped, once, in one place;
+3. **dropped-message accounting** — global counters per drop reason, plus an
+   optional per-message ``on_drop`` callback so protocols can attribute the
+   loss to a query;
+4. **delivery scheduling** — the only component that touches the simulator's
+   event queue for network messages.
+
+On top of that it provides what the per-protocol implementations never had:
+
+* **fault injection** (:class:`FaultConfig`) — probabilistic message loss,
+  extra exponential delay jitter, and network partitions by host set.  All
+  draws come from one seeded generator, so a run with the same seed drops
+  exactly the same messages (the simulator is deterministic, hence so is the
+  message order the generator is consumed in);
+* **per-message tracing** (:class:`MessageTrace` fed to a :class:`TraceSink`)
+  — message kind, endpoints, size, send/arrive times and final status, for
+  observability and structural assertions in tests.
+
+:class:`Protocol` is the small base class protocols derive from: it wires
+``sim``/``stats``/``latency``/``maintenance`` once instead of copy-pasting
+the plumbing through every protocol constructor.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Callable
+
+from repro.sim.engine import Simulator
+from repro.util.rng import spawn_rngs
+
+__all__ = [
+    "FaultConfig",
+    "TransportStats",
+    "MessageTrace",
+    "TraceSink",
+    "MemoryTraceSink",
+    "JsonlTraceSink",
+    "Transport",
+    "Protocol",
+]
+
+#: terminal statuses of a message
+DELIVERED = "delivered"
+DROPPED_DEAD = "dropped:dead"          # destination crashed before arrival
+DROPPED_LOSS = "dropped:loss"          # probabilistic fault-injected loss
+DROPPED_PARTITION = "dropped:partition"  # endpoints in different partitions
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection knobs of a :class:`Transport`.
+
+    Attributes
+    ----------
+    loss_rate:
+        Probability in ``[0, 1]`` that any remote message is lost in flight.
+    jitter:
+        Mean of an exponential extra delay (seconds) added to every remote
+        delivery; 0 disables the draw entirely (keeps the random stream
+        untouched, so enabling jitter does not perturb loss decisions).
+    partitions:
+        Collection of host-index sets.  Hosts in different sets — or a host
+        in a set versus a host in none — cannot exchange messages.  Empty
+        means no partition.
+    seed:
+        Seed of the generator behind loss and jitter draws; the same seed
+        (with the same deterministic simulation) reproduces the same drops.
+    """
+
+    loss_rate: float = 0.0
+    jitter: float = 0.0
+    partitions: "tuple[frozenset[int], ...]" = ()
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {self.loss_rate}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        # normalise to hashable frozensets (allows lists/sets in user code)
+        object.__setattr__(
+            self, "partitions", tuple(frozenset(p) for p in self.partitions)
+        )
+
+    @property
+    def active(self) -> bool:
+        return bool(self.loss_rate or self.jitter or self.partitions)
+
+
+@dataclass
+class TransportStats:
+    """Global message counters of one transport (all protocols combined)."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_dead: int = 0
+    dropped_loss: int = 0
+    dropped_partition: int = 0
+    bytes: int = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_dead + self.dropped_loss + self.dropped_partition
+
+
+@dataclass
+class MessageTrace:
+    """One message's life, as recorded by the trace hooks.
+
+    ``arrived_at`` stays ``None`` for dropped messages; ``status`` is one of
+    ``"delivered"``, ``"dropped:dead"``, ``"dropped:loss"``,
+    ``"dropped:partition"``.
+    """
+
+    kind: str
+    src: int
+    dst: int
+    src_host: int
+    dst_host: int
+    size: int
+    sent_at: float
+    arrived_at: "float | None" = None
+    status: str = "sent"
+    qid: "int | None" = None
+
+
+class TraceSink:
+    """Receives one :class:`MessageTrace` per message at its terminal state."""
+
+    def record(self, trace: MessageTrace) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+
+class MemoryTraceSink(TraceSink):
+    """Keeps traces in a list, with the filters tests and notebooks want."""
+
+    def __init__(self):
+        self.records: "list[MessageTrace]" = []
+
+    def record(self, trace: MessageTrace) -> None:
+        self.records.append(trace)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_kind(self, kind: str) -> "list[MessageTrace]":
+        return [t for t in self.records if t.kind == kind]
+
+    def by_status(self, status: str) -> "list[MessageTrace]":
+        return [t for t in self.records if t.status == status]
+
+    def dropped(self) -> "list[MessageTrace]":
+        return [t for t in self.records if t.status.startswith("dropped")]
+
+    def for_query(self, qid: int) -> "list[MessageTrace]":
+        return [t for t in self.records if t.qid == qid]
+
+
+class JsonlTraceSink(TraceSink):
+    """Streams traces as JSON lines to a path or file-like object."""
+
+    def __init__(self, target: Any):
+        if hasattr(target, "write"):
+            self._fh = target
+            self._owns = False
+        else:
+            self._fh = open(target, "w")
+            self._owns = True
+
+    def record(self, trace: MessageTrace) -> None:
+        self._fh.write(json.dumps(asdict(trace)) + "\n")
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+
+class Transport:
+    """Message delivery between overlay nodes over the discrete-event engine.
+
+    Endpoints are duck-typed node objects exposing ``id``, ``host`` and
+    ``alive``.  ``latency`` may be ``None``, which makes all messages
+    instantaneous (structural tests).
+
+    The two delivery primitives:
+
+    * :meth:`send` — asynchronous: schedules ``handler(*args)`` at the
+      destination after the network delay, applying faults and the liveness
+      check at arrival time;
+    * :meth:`control` — synchronous RPC-hop accounting for the maintenance
+      protocol (stabilisation models request/response pairs as instantaneous
+      but countable and fault-droppable).
+
+    ``timer``/``at`` schedule local (non-network) callbacks so protocol code
+    never needs the simulator directly.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator | None" = None,
+        latency=None,
+        faults: "FaultConfig | None" = None,
+        trace: "TraceSink | None" = None,
+    ):
+        self.sim = sim if sim is not None else Simulator()
+        self.latency = latency
+        self.faults = faults if faults is not None else FaultConfig()
+        self.trace = trace
+        self.stats = TransportStats()
+        # independent streams: toggling jitter must not re-order loss draws
+        self._loss_rng, self._jitter_rng = spawn_rngs(self.faults.seed, 2)
+        self._partition_of: "dict[int, int]" = {}
+        for gi, group in enumerate(self.faults.partitions):
+            for host in group:
+                self._partition_of[host] = gi
+
+    # -- scheduling helpers (local, non-network) -------------------------------
+
+    def timer(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` seconds (maintenance timers,
+        workload arrivals — anything that is not a network message)."""
+        self.sim.schedule_in(delay, fn, *args)
+
+    def at(self, time: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute simulation time ``time``."""
+        self.sim.schedule_at(time, fn, *args)
+
+    # -- network model ---------------------------------------------------------
+
+    def delay(self, src_host: int, dst_host: int) -> float:
+        """One-way network delay between two hosts (0 without a model)."""
+        if self.latency is None:
+            return 0.0
+        return self.latency.latency(src_host, dst_host)
+
+    def partitioned(self, a_host: int, b_host: int) -> bool:
+        """Whether a partition separates the two hosts."""
+        if not self._partition_of:
+            return False
+        return self._partition_of.get(a_host, -1) != self._partition_of.get(b_host, -1)
+
+    # -- delivery --------------------------------------------------------------
+
+    def send(
+        self,
+        src,
+        dst,
+        handler: Callable,
+        *args: Any,
+        kind: str = "message",
+        size: int = 0,
+        qid: "int | None" = None,
+        on_drop: "Callable[[MessageTrace], None] | None" = None,
+    ) -> bool:
+        """Deliver ``handler(*args)`` at ``dst`` after the network delay.
+
+        Returns ``False`` when the message is dropped at send time (fault
+        loss or partition); in-flight drops (destination crashed before
+        arrival) surface through ``on_drop`` and the drop counters.  A send
+        to self is a local hand-off: immediate, never faulted, but still
+        liveness-checked at delivery.
+        """
+        rec = MessageTrace(
+            kind=kind,
+            src=src.id,
+            dst=dst.id,
+            src_host=src.host,
+            dst_host=dst.host,
+            size=size,
+            sent_at=self.sim.now,
+            qid=qid,
+        )
+        self.stats.sent += 1
+        self.stats.bytes += size
+        if src is dst:
+            delay = 0.0
+        else:
+            if self.partitioned(src.host, dst.host):
+                return self._drop(rec, DROPPED_PARTITION, on_drop)
+            if self.faults.loss_rate and self._loss_rng.random() < self.faults.loss_rate:
+                return self._drop(rec, DROPPED_LOSS, on_drop)
+            delay = self.delay(src.host, dst.host)
+            if self.faults.jitter:
+                delay += float(self._jitter_rng.exponential(self.faults.jitter))
+        self.sim.schedule_in(delay, self._deliver, dst, handler, args, rec, on_drop)
+        return True
+
+    def _deliver(self, dst, handler, args, rec: MessageTrace, on_drop) -> None:
+        if not getattr(dst, "alive", True):
+            self._drop(rec, DROPPED_DEAD, on_drop)
+            return
+        rec.arrived_at = self.sim.now
+        rec.status = DELIVERED
+        self.stats.delivered += 1
+        if self.trace is not None:
+            self.trace.record(rec)
+        handler(*args)
+
+    def _drop(self, rec: MessageTrace, status: str, on_drop) -> bool:
+        rec.status = status
+        if status == DROPPED_DEAD:
+            self.stats.dropped_dead += 1
+        elif status == DROPPED_LOSS:
+            self.stats.dropped_loss += 1
+        else:
+            self.stats.dropped_partition += 1
+        if self.trace is not None:
+            self.trace.record(rec)
+        if on_drop is not None:
+            on_drop(rec)
+        return False
+
+    def control(self, src, dst, kind: str = "maintenance", size: int = 0) -> bool:
+        """Account one synchronous control-message hop; True when delivered.
+
+        Stabilisation models its request/response pairs as instantaneous
+        (their latencies are negligible against the maintenance intervals);
+        the transport still applies partitions and probabilistic loss so the
+        maintenance loop degrades under the same faults queries do.
+        """
+        rec = MessageTrace(
+            kind=kind,
+            src=src.id,
+            dst=dst.id,
+            src_host=src.host,
+            dst_host=dst.host,
+            size=size,
+            sent_at=self.sim.now,
+            qid=None,
+        )
+        self.stats.sent += 1
+        self.stats.bytes += size
+        if src is not dst:
+            if self.partitioned(src.host, dst.host):
+                return self._drop(rec, DROPPED_PARTITION, None)
+            if self.faults.loss_rate and self._loss_rng.random() < self.faults.loss_rate:
+                return self._drop(rec, DROPPED_LOSS, None)
+            if not getattr(dst, "alive", True):
+                return self._drop(rec, DROPPED_DEAD, None)
+        rec.arrived_at = self.sim.now
+        rec.status = DELIVERED
+        self.stats.delivered += 1
+        if self.trace is not None:
+            self.trace.record(rec)
+        return True
+
+
+class Protocol:
+    """Base class of the message-passing protocols.
+
+    Owns the wiring every protocol used to repeat: the transport (created
+    from ``sim``/``latency`` when not shared), the stats collector, and the
+    optional maintenance protocol that piggybacks on query traffic (§3.3).
+
+    Subclasses override :meth:`default_stats` when their stats object is not
+    a :class:`repro.sim.stats.StatsCollector`.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator | None" = None,
+        stats=None,
+        latency=None,
+        transport: "Transport | None" = None,
+        maintenance=None,
+    ):
+        if transport is None:
+            transport = Transport(sim=sim, latency=latency)
+        self.transport = transport
+        self.sim = transport.sim
+        self.latency = transport.latency
+        self.stats = stats if stats is not None else self.default_stats()
+        #: optional StabilizationProtocol — query traffic is reported to it
+        #: so maintenance messages can piggyback on these links (§3.3).
+        self.maintenance = maintenance
+
+    def default_stats(self):
+        from repro.sim.stats import StatsCollector
+
+        return StatsCollector()
+
+    def note_traffic(self, src, dst) -> None:
+        """Report query traffic on a link to the maintenance protocol."""
+        if self.maintenance is not None and src is not dst:
+            self.maintenance.note_query_traffic(src.host, dst.host)

@@ -2,13 +2,28 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.platform import IndexPlatform
 from repro.dht.ring import ChordRing
 from repro.metric.vector import EuclideanMetric
 from repro.sim.network import ConstantLatency
+
+# Hypothesis profiles: "fast" keeps the tier-1 suite quick; explicit
+# @settings on a test (e.g. the churn property) still take precedence.
+# Select the heavier sweep with HYPOTHESIS_PROFILE=thorough.
+settings.register_profile(
+    "fast",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("thorough", max_examples=200, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))
 
 
 @pytest.fixture

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.landmarks import (
-    LandmarkSet,
     greedy_selection,
     kmeans_selection,
     kmedoids_selection,

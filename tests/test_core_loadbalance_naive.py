@@ -1,7 +1,6 @@
 """Tests for load balancing (§3.4) and the naive routing baseline (§3.3)."""
 
 import numpy as np
-import pytest
 
 from repro.core.loadbalance import (
     dynamic_load_migration,

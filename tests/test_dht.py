@@ -11,7 +11,6 @@ from repro.dht.idspace import (
     in_interval_open,
     in_interval_open_closed,
 )
-from repro.dht.node import ChordNode
 from repro.dht.ring import ChordRing
 from repro.sim.network import ConstantLatency, MatrixLatency
 

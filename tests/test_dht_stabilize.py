@@ -1,13 +1,11 @@
 """Tests for the Chord stabilisation protocol, churn repair and piggybacking."""
 
 import numpy as np
-import pytest
 
 from repro.dht.ring import ChordRing
 from repro.dht.stabilize import (
     CONTROL_MESSAGE_BYTES,
     MaintenanceConfig,
-    MaintenanceStats,
     StabilizationProtocol,
 )
 from repro.sim.engine import Simulator

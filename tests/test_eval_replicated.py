@@ -1,7 +1,6 @@
 """Tests for multi-seed experiment replication."""
 
 import numpy as np
-import pytest
 
 from repro.eval.runner import ExperimentConfig, Scheme, run_replicated
 

@@ -2,7 +2,6 @@
 are patched in where needed to keep CI fast)."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest
@@ -21,6 +20,7 @@ class TestExamples:
         assert "recall@10" in out
         assert "overlay: 64 Chord nodes" in out
 
+    @pytest.mark.slow
     def test_dna_search(self, capsys):
         out = _run("dna_search.py", capsys)
         assert "hits from the query's own family" in out
@@ -29,6 +29,7 @@ class TestExamples:
         out = _run("image_search.py", capsys)
         assert "same template" in out
 
+    @pytest.mark.slow
     def test_multi_index(self, capsys):
         out = _run("multi_index_demo.py", capsys)
         assert "3 indexes" in out

@@ -2,7 +2,6 @@
 core invariant (routed results == exact scan) and their own guarantees."""
 
 import numpy as np
-import pytest
 
 from repro.core.knn import knn_search
 from repro.core.loadbalance import dynamic_load_migration

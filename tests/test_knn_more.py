@@ -1,7 +1,6 @@
 """Additional k-NN edge cases and cross-metric coverage."""
 
 import numpy as np
-import pytest
 
 from repro.core.knn import knn_search
 from repro.core.platform import IndexPlatform

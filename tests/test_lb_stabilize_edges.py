@@ -1,12 +1,11 @@
 """Additional edge cases for load balancing and stabilisation internals."""
 
 import numpy as np
-import pytest
 
 from repro.core.loadbalance import _split_point, dynamic_load_migration
 from repro.core.platform import IndexPlatform
 from repro.dht.ring import ChordRing
-from repro.dht.stabilize import MaintenanceConfig, StabilizationProtocol
+from repro.dht.stabilize import StabilizationProtocol
 from repro.metric.vector import EuclideanMetric
 from repro.sim.engine import Simulator
 from repro.sim.network import ConstantLatency

@@ -1,7 +1,6 @@
 """Coverage for small public surfaces: MetricSpace, report formatting,
 bit-helper edges, simulator corners, hashing determinism."""
 
-import math
 
 import numpy as np
 import pytest

@@ -7,7 +7,6 @@ per-node top-k).  Hypothesis drives the parameters.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.platform import IndexPlatform

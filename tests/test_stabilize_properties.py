@@ -6,8 +6,7 @@ return the overlay to a consistent ring whose lookups match the oracle.
 """
 
 import numpy as np
-import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, example, given, settings, strategies as st
 
 from repro.dht.ring import ChordRing
 from repro.dht.stabilize import MaintenanceConfig, StabilizationProtocol
@@ -28,6 +27,12 @@ from repro.sim.network import ConstantLatency
         max_size=6,
     ),
 )
+# Regression: a node joins with successors=[owner] only, and the owner
+# crashes before the first successor-list copy tick — the joiner's list
+# drained permanently and stabilisation stalled.  Fixed by copying the
+# owner's successor list in the join handshake plus an emergency
+# re-adoption path in stabilize() when every successor is dead.
+@example(seed=221, n_start=10, events=[("join", 0), ("crash", 0)])
 def test_churn_converges(seed, n_start, events):
     m = 20
     latency = ConstantLatency(64, delay=0.005)

@@ -5,10 +5,8 @@ where ownership intervals are known exactly.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.index_space import IndexSpaceBounds
-from repro.core.platform import IndexPlatform, LandmarkIndex
 from repro.core.query import RangeQuery, Rect
 from repro.core.routing import QueryProtocol
 from repro.core.storage import Shard

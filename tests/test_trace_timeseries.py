@@ -1,7 +1,6 @@
 """Tests for the time-series generator and the query tracer."""
 
 import numpy as np
-import pytest
 
 from repro.core.platform import IndexPlatform
 from repro.core.trace import TracingProtocol
