@@ -9,6 +9,8 @@ Sub-modules map one-to-one onto §3 of the paper:
 * :mod:`repro.core.query` — range queries and QuerySplit (Algorithm 4);
 * :mod:`repro.core.routing` — QueryRouting and SurrogateRefine
   (Algorithms 3 & 5, §3.3);
+* :mod:`repro.core.lifecycle` — per-query state machines, completion
+  detection, deadlines/retries and futures;
 * :mod:`repro.core.loadbalance` — static rotation + dynamic migration (§3.4);
 * :mod:`repro.core.platform` — the multi-index platform facade;
 * :mod:`repro.core.naive` — the naive per-cuboid baseline of §3.3.
@@ -36,9 +38,15 @@ from repro.core.lph import (
     smallest_enclosing_prefix,
 )
 from repro.core.knn import KnnResult, knn_search
+from repro.core.lifecycle import (
+    LifecycleEngine,
+    QueryFuture,
+    QueryTimeout,
+    RetryPolicy,
+)
 from repro.core.naive import NaiveProtocol, decompose_to_owner_cuboids
 from repro.core.platform import IndexPlatform, LandmarkIndex, QueryPayload, take
-from repro.core.query import RangeQuery, Rect, query_split
+from repro.core.query import QidAllocator, RangeQuery, Rect, query_split
 from repro.core.routing import QueryProtocol
 from repro.core.storage import Shard
 from repro.core.trace import QueryTrace, TraceEvent, TracingProtocol
@@ -59,8 +67,13 @@ __all__ = [
     "smallest_enclosing_prefix",
     "RangeQuery",
     "Rect",
+    "QidAllocator",
     "query_split",
     "QueryProtocol",
+    "LifecycleEngine",
+    "QueryFuture",
+    "QueryTimeout",
+    "RetryPolicy",
     "NaiveProtocol",
     "decompose_to_owner_cuboids",
     "IndexPlatform",

@@ -8,8 +8,12 @@ the queried radius — at which point the k-th candidate distance certifies
 that no unexplored region can hold a closer object (the landmark projection
 is contractive, so the range query has no false negatives).
 
-Costs accumulate across rounds into a single per-query stats record, so the
-harness can compare "one big range query" against "adaptive k-NN".
+Each round is one lifecycle-tracked query on the platform's *live*
+simulator: the engine's completion future tells the loop when the round's
+results are all in, so nothing ever calls ``sim.reset()`` — co-scheduled
+events (stabilisation timers, other queries' messages) survive k-NN rounds
+untouched.  Round qids come from the platform's allocator, so concurrent
+searches never collide in stats or traces.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.lifecycle import RetryPolicy
 from repro.sim.stats import StatsCollector
 
 __all__ = ["KnnResult", "knn_search"]
@@ -47,6 +52,7 @@ def knn_search(
     growth: float = 2.0,
     max_rounds: int = 12,
     source_node=None,
+    policy: "RetryPolicy | None" = None,
     **protocol_kwargs,
 ) -> KnnResult:
     """Find the ``k`` nearest indexed objects to ``obj``.
@@ -55,6 +61,8 @@ def knn_search(
     multiplies the radius by ``growth`` until ``k`` results are certified or
     ``max_rounds`` is exhausted (the last round runs with the metric's upper
     bound when one is known, making the result exact for bounded metrics).
+    ``policy`` configures per-round deadlines/retransmission for searches
+    under faults; rounds run on the live simulator either way.
     """
     index = platform.indexes[name]
     node = source_node or platform.ring.nodes()[0]
@@ -63,6 +71,12 @@ def knn_search(
     if index.metric.is_bounded:
         radius = min(radius, index.metric.upper_bound)
 
+    engine = platform.lifecycle(policy)
+    stats = StatsCollector()
+    proto, _ = platform.protocol(
+        name, stats=stats, top_k=max(k, 10), range_filter=True,
+        engine=engine, **protocol_kwargs,
+    )
     total_msgs = 0
     total_qbytes = 0
     total_rbytes = 0
@@ -71,20 +85,16 @@ def knn_search(
     rounds = 0
     exact = False
     for rounds in range(1, max_rounds + 1):
-        stats = StatsCollector()
-        proto, _ = platform.protocol(
-            name, stats=stats, top_k=max(k, 10), range_filter=True, **protocol_kwargs
-        )
-        platform.sim.reset()
-        q = index.make_query(obj, radius, qid=0)
-        proto.issue(q, node)
-        platform.sim.run()
-        st = stats.for_query(0)
+        qid = platform.qids.next()
+        q = index.make_query(obj, radius, qid=qid)
+        fut = proto.issue(q, node)
+        engine.run_until_complete([fut])
+        st = stats.for_query(qid)
         total_msgs += st.query_messages
         total_qbytes += st.query_bytes
         total_rbytes += st.result_bytes
         nodes_touched |= st.index_nodes
-        for e in st.entries:
+        for e in fut.entries():
             if e.object_id not in best or e.distance < best[e.object_id]:
                 best[e.object_id] = e.distance
         within = sorted(d for d in best.values() if d <= radius)

@@ -95,18 +95,14 @@ def _no_node_inside(ring, key_lo: int, key_hi: int, m: int) -> bool:
 
 
 class NaiveProtocol(QueryProtocol):
-    """Per-cuboid independent Chord lookups (no tree sharing, no bundling)."""
+    """Per-cuboid independent Chord lookups (no tree sharing, no bundling).
 
-    def issue(self, query: RangeQuery, node, at_time: "float | None" = None) -> None:
-        query.source = node
-        st = self.stats.for_query(query.qid)
-        st.issued_at = self.sim.now if at_time is None else at_time
-        if at_time is None:
-            self._issue_now(node, query)
-        else:
-            self.transport.at(at_time, self._issue_now, node, query)
+    ``issue()``/lifecycle tracking are inherited from
+    :class:`repro.core.routing.QueryProtocol`; only the first step
+    (:meth:`_start`) and the hop-by-hop lookup differ.
+    """
 
-    def _issue_now(self, node, query: RangeQuery) -> None:
+    def _start(self, node, query: RangeQuery) -> None:
         pieces = decompose_to_owner_cuboids(self.index, query.rect)
         for prefix_key, prefix_len, nl, nh in pieces:
             sq = RangeQuery(
@@ -135,10 +131,7 @@ class NaiveProtocol(QueryProtocol):
             return
         nxt = path[i + 1]
         size = query_message_size(1, self.index.k)
-        self.stats.for_query(sq.qid).record_query_message(size)
-        self.note_traffic(node, nxt)
-        self.transport.send(
+        self._tracked_send(
             node, nxt, self._lookup_hop, path, i + 1, sq, hops + 1,
             kind="naive:lookup", size=size, qid=sq.qid,
-            on_drop=self._count_drop(sq.qid),
         )

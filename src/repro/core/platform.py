@@ -23,8 +23,9 @@ from scipy import sparse
 
 from repro.core.index_space import IndexSpace
 from repro.core.landmarks import select_landmarks
+from repro.core.lifecycle import LifecycleEngine, QueryFuture, RetryPolicy
 from repro.core.lph import lp_hash_batch
-from repro.core.query import RangeQuery
+from repro.core.query import QidAllocator, RangeQuery
 from repro.core.routing import QueryProtocol
 from repro.core.storage import Shard
 from repro.dht.hashing import rotation_offset
@@ -96,6 +97,9 @@ class LandmarkIndex:
         self.dataset = dataset
         self.rotation = int(rotation)
         self.refine_mode = refine_mode
+        #: scoped query-id source; the platform replaces it with its shared
+        #: allocator so ids are unique across all of a platform's indexes
+        self.qids = QidAllocator()
         #: entries are stored on the owner plus the next ``replication - 1``
         #: successors.  Replicas carry keys outside their holder's ownership
         #: interval, so the claimed-key-range filter of query resolution
@@ -250,6 +254,7 @@ class LandmarkIndex:
             index_name=self.name,
             payload=QueryPayload(obj=obj, ipoint=ipoint),
             qid=qid,
+            alloc=self.qids,
         )
 
     def refine_distances(self, q: RangeQuery, points: np.ndarray, object_ids: np.ndarray) -> np.ndarray:
@@ -352,6 +357,9 @@ class IndexPlatform:
                 sim=self.sim, latency=self.latency, faults=faults, trace=trace
             )
         self.indexes: "dict[str, LandmarkIndex]" = {}
+        #: platform-scoped query ids: unique across all indexes and
+        #: concurrent queries, reproducible per platform instance
+        self.qids = QidAllocator()
 
     # -- index lifecycle -------------------------------------------------------------
 
@@ -389,6 +397,7 @@ class IndexPlatform:
             name, space, self.ring, dataset, rotation=rot,
             refine_mode=refine_mode, replication=replication,
         )
+        index.qids = self.qids
         index.build()
         self.indexes[name] = index
         return index
@@ -427,6 +436,7 @@ class IndexPlatform:
             rotation=index.rotation, refine_mode=index.refine_mode,
             replication=index.replication,
         )
+        candidate.qids = self.qids
         old_score = index.filtering_score(sample, rng)
         new_score = candidate.filtering_score(sample, rng)
         report = {"old_score": old_score, "new_score": new_score, "adopted": 0.0, "moved": 0.0}
@@ -457,31 +467,94 @@ class IndexPlatform:
         )
         return proto, stats
 
+    def lifecycle(self, policy: "RetryPolicy | None" = None) -> LifecycleEngine:
+        """A fresh :class:`repro.core.lifecycle.LifecycleEngine` on the
+        platform's transport (deadlines, retries and completion futures)."""
+        return LifecycleEngine(self.transport, policy=policy)
+
     def run_workload(
         self,
         name: str,
         workload,
         reset_sim: bool = True,
+        pipelined: bool = True,
+        policy: "RetryPolicy | None" = None,
         **protocol_kwargs: Any,
     ) -> StatsCollector:
-        """Issue a :class:`repro.datasets.queries.QueryWorkload` and run to quiescence.
+        """Issue a :class:`repro.datasets.queries.QueryWorkload` and run it.
 
         Query ``qid`` equals the workload position, so ground-truth joins are
         positional.  Returns the stats collector (per-query costs + merged
         result entries).
+
+        ``pipelined=True`` (default) injects every query at its arrival time
+        and runs them concurrently — one pass over the event queue.
+        ``pipelined=False`` issues and drains one query at a time (the
+        serial baseline; with faults off both produce identical per-query
+        stats, the queries being causally independent).  ``policy`` attaches
+        a lifecycle engine: per-query deadlines, retransmission with backoff
+        and a terminal state per query — required for meaningful runs under
+        :class:`repro.sim.transport.FaultConfig` faults.
         """
         if reset_sim:
             self.sim.reset()
-        proto, stats = self.protocol(name, **protocol_kwargs)
+        engine = self.lifecycle(policy) if policy is not None else None
+        proto, stats = self.protocol(name, engine=engine, **protocol_kwargs)
         index = self.indexes[name]
         nodes = self.ring.nodes()
-        for i in range(len(workload)):
+
+        def issue_one(i: int):
             obj = take(workload.points, i)
             q = index.make_query(obj, float(workload.radii[i]), qid=i)
             node = nodes[int(workload.source_nodes[i]) % len(nodes)]
-            proto.issue(q, node, at_time=float(workload.arrival_times[i]))
-        self.sim.run()
+            # serial draining can advance the clock past the next arrival;
+            # the serial baseline then issues the query immediately (its
+            # *relative* latencies are unaffected — only absolute timestamps)
+            at = max(float(workload.arrival_times[i]), self.sim.now)
+            return proto.issue(q, node, at_time=at)
+
+        if pipelined:
+            futures = [issue_one(i) for i in range(len(workload))]
+            if engine is not None:
+                engine.run_until_complete(futures)
+            else:
+                self.sim.run()
+        else:
+            for i in range(len(workload)):
+                fut = issue_one(i)
+                if engine is not None:
+                    engine.run_until_complete([fut])
+                else:
+                    self.sim.run()
         return stats
+
+    def query_async(
+        self,
+        name: str,
+        obj: Any,
+        radius: float,
+        source_node=None,
+        top_k: int = 10,
+        policy: "RetryPolicy | None" = None,
+        engine: "LifecycleEngine | None" = None,
+        **protocol_kwargs: Any,
+    ) -> QueryFuture:
+        """Issue one similarity query on the live simulator; returns its future.
+
+        The query runs alongside whatever else is scheduled (other queries,
+        maintenance); harvest it with ``future.engine.run_until_complete([f])``
+        or a done-callback.  Pass a shared ``engine`` to co-track several
+        queries; otherwise one is created with ``policy``.
+        """
+        if engine is None:
+            engine = self.lifecycle(policy)
+        elif policy is not None:
+            raise ValueError("pass either engine= or policy=, not both")
+        proto, _ = self.protocol(name, top_k=top_k, engine=engine, **protocol_kwargs)
+        index = self.indexes[name]
+        node = source_node or self.ring.nodes()[0]
+        q = index.make_query(obj, radius)
+        return proto.issue(q, node)
 
     def query(
         self,
@@ -490,29 +563,24 @@ class IndexPlatform:
         radius: float,
         source_node=None,
         top_k: int = 10,
+        policy: "RetryPolicy | None" = None,
         **protocol_kwargs: Any,
     ) -> "list":
         """One-shot similarity query; returns merged, deduplicated results.
 
         Results are ``ResultEntry`` objects sorted by distance (closest
-        first), at most ``top_k`` of them.
+        first), at most ``top_k`` of them.  Runs through the lifecycle
+        engine: the simulator advances only until this query completes, so
+        co-scheduled events stay queued.  Raises
+        :class:`repro.core.lifecycle.QueryTimeout` when ``policy`` has a
+        deadline and the query missed it.
         """
-        proto, stats = self.protocol(name, top_k=top_k, **protocol_kwargs)
-        index = self.indexes[name]
-        node = source_node or self.ring.nodes()[0]
-        q = index.make_query(obj, radius)
-        proto.issue(q, node)
-        self.sim.run()
-        st = stats.for_query(q.qid)
-        best: "dict[int, float]" = {}
-        for e in st.entries:
-            if e.object_id not in best or e.distance < best[e.object_id]:
-                best[e.object_id] = e.distance
-        from repro.sim.messages import ResultEntry
-
-        merged = [ResultEntry(oid, d) for oid, d in best.items()]
-        merged.sort(key=lambda e: e.distance)
-        return merged[:top_k]
+        fut = self.query_async(
+            name, obj, radius, source_node=source_node, top_k=top_k,
+            policy=policy, **protocol_kwargs,
+        )
+        fut.engine.run_until_complete([fut])
+        return fut.result(top_k)
 
     # -- failure injection --------------------------------------------------------------
 

@@ -14,7 +14,6 @@ one bit) or splits it into two subqueries, one per half.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any
 
@@ -24,9 +23,43 @@ from repro.core.index_space import IndexSpaceBounds
 from repro.core.lph import dimension_range, smallest_enclosing_prefix
 from repro.util.bits import set_bit_at
 
-__all__ = ["Rect", "RangeQuery", "query_split"]
+__all__ = ["Rect", "RangeQuery", "QidAllocator", "query_split"]
 
-_qid_counter = itertools.count()
+
+class QidAllocator:
+    """A scoped monotonic query-id source.
+
+    Query ids key per-query stats, message traces and lifecycle records, so
+    they must be unique within whatever shares those tables — a platform, or
+    a standalone protocol.  Each :class:`repro.core.platform.IndexPlatform`
+    owns one allocator (shared by all of its indexes), replacing the old
+    process-global counter: two platforms built in one process now draw the
+    same id sequence, which keeps stats and traces reproducible across
+    repeated runs, and concurrent queries on one platform can never collide
+    (the way ``knn_search``'s hardcoded ``qid=0`` used to).
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 0):
+        self._next = start
+
+    def next(self) -> int:
+        qid = self._next
+        self._next += 1
+        return qid
+
+    def reset(self, start: int = 0) -> None:
+        self._next = start
+
+    def peek(self) -> int:
+        """The id the next :meth:`next` call will return."""
+        return self._next
+
+
+#: fallback for bare ``RangeQuery.from_point`` calls outside any platform
+#: (platform/protocol paths always pass an explicit qid or allocator)
+_fallback_qids = QidAllocator()
 
 
 @dataclass
@@ -122,6 +155,7 @@ class RangeQuery:
         index_name: str = "default",
         payload: Any = None,
         qid: "int | None" = None,
+        alloc: "QidAllocator | None" = None,
     ) -> "RangeQuery":
         """Build the initial query: hypercube of side ``2r`` clipped to bounds.
 
@@ -137,7 +171,7 @@ class RangeQuery:
             rect=Rect(lows, highs),
             prefix_key=key,
             prefix_len=length,
-            qid=next(_qid_counter) if qid is None else qid,
+            qid=(alloc or _fallback_qids).next() if qid is None else qid,
             source=source,
             index_name=index_name,
             payload=payload,

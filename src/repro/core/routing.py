@@ -18,7 +18,13 @@
 All network delivery — latency lookup, liveness checks, drop accounting,
 fault injection and per-message tracing — goes through the shared
 :class:`repro.sim.transport.Transport`; this module only decides *what* to
-send *where*.
+send *where*.  When a :class:`repro.core.lifecycle.LifecycleEngine` is
+attached, every message additionally runs as one tracked *branch*: opened
+before the send, settled after the receiving side processed it, retried on
+drops/timeouts and deduplicated on retransmission races — which gives each
+query positive completion detection and a terminal state even under faults
+(see :mod:`repro.core.lifecycle`).  Without an engine the protocol behaves
+exactly as before: fire-and-forget sends, completion by quiescence.
 
 Two surrogate modes are provided:
 
@@ -93,6 +99,11 @@ class QueryProtocol(Protocol):
     transport:
         A shared :class:`repro.sim.transport.Transport`; created from
         ``sim``/``latency`` when omitted.
+    engine:
+        Optional :class:`repro.core.lifecycle.LifecycleEngine`.  When given,
+        :meth:`issue` registers the query with it and returns its
+        :class:`repro.core.lifecycle.QueryFuture`; every message becomes a
+        tracked, retryable branch.
     """
 
     def __init__(
@@ -107,6 +118,7 @@ class QueryProtocol(Protocol):
         reply_empty: bool = True,
         maintenance=None,
         transport=None,
+        engine=None,
     ):
         if surrogate_mode not in ("fixed", "literal"):
             raise ValueError(f"unknown surrogate_mode {surrogate_mode!r}")
@@ -121,6 +133,7 @@ class QueryProtocol(Protocol):
         self.top_k = top_k
         self.range_filter = range_filter
         self.reply_empty = reply_empty
+        self.engine = engine
 
     # -- key-space helpers ----------------------------------------------------
 
@@ -133,26 +146,111 @@ class QueryProtocol(Protocol):
     def _next_hop(self, node, prefix_key: int):
         return node.next_hop(self._rotate(prefix_key))
 
-    def _count_drop(self, qid: int):
-        """A per-message drop callback attributing the loss to ``qid``."""
+    # -- lifecycle-tracked message plumbing ------------------------------------
+    #
+    # All three query protocols (this one, NaiveProtocol, SfcRangeProtocol)
+    # send query-carrying messages through _tracked_send and receive them
+    # through _recv, so branch accounting, retransmission and duplicate
+    # suppression live in exactly one place.
+
+    def _drop_cb(self, qid: int, bid: "int | None" = None):
+        """A per-message drop callback: attribute the loss to ``qid`` and
+        notify the lifecycle engine so the branch retries or settles."""
         st = self.stats.for_query(qid)
+        engine = self.engine
 
         def on_drop(_trace) -> None:
             st.dropped_messages += 1
+            if engine is not None:
+                engine.notify_drop(qid, bid)
 
         return on_drop
 
+    def _tracked_send(
+        self,
+        src,
+        dst,
+        fn,
+        *args,
+        kind: str,
+        size: int,
+        qid: int,
+        record: bool = True,
+    ) -> None:
+        """Send ``fn(*args)``-at-``dst`` as one lifecycle branch.
+
+        ``record`` charges the message to the query's byte/message counters
+        per transmission attempt (retries are real traffic); result replies
+        pass ``record=False`` and account on arrival instead.  Without an
+        engine this degrades to a plain transport send.
+        """
+        engine = self.engine
+        bid = engine.open(qid) if engine is not None else None
+
+        def transmit(attempt: int = 1) -> None:
+            if record and size:
+                self.stats.for_query(qid).record_query_message(size)
+                self.note_traffic(src, dst)
+            self.transport.send(
+                src, dst, self._recv, qid, bid, fn, args,
+                kind=kind, size=size, qid=qid, attempt=attempt,
+                on_drop=self._drop_cb(qid, bid),
+            )
+
+        if bid is None:
+            transmit()
+        else:
+            engine.arm(qid, bid, transmit)
+
+    def _recv(self, qid: int, bid: "int | None", fn, args) -> None:
+        """Arrival half of :meth:`_tracked_send`: dedup, process, settle."""
+        engine = self.engine
+        if engine is None or bid is None:
+            fn(*args)
+            return
+        if not engine.accept(qid, bid):
+            return
+        try:
+            fn(*args)
+        finally:
+            engine.settle(qid, bid)
+
     # -- entry points ----------------------------------------------------------
 
-    def issue(self, query: RangeQuery, node, at_time: "float | None" = None) -> None:
-        """Inject ``query`` at ``node`` (optionally at a future simulation time)."""
+    def issue(self, query: RangeQuery, node, at_time: "float | None" = None):
+        """Inject ``query`` at ``node`` (optionally at a future simulation time).
+
+        Returns the query's :class:`repro.core.lifecycle.QueryFuture` when a
+        lifecycle engine is attached, else ``None``.
+        """
         query.source = node
         st = self.stats.for_query(query.qid)
         st.issued_at = self.sim.now if at_time is None else at_time
+        if self.engine is None:
+            if at_time is None:
+                self._start(node, query)
+            else:
+                self.transport.at(at_time, self._start, node, query)
+            return None
+        fut = self.engine.register(query.qid, stats=self.stats, issued_at=st.issued_at)
+        # the injection itself is a branch: the query cannot look complete
+        # before its first routing step has run
+        root = self.engine.open(query.qid)
         if at_time is None:
-            self._query_routing(node, query, 0)
+            self._start_root(node, query, root)
         else:
-            self.transport.at(at_time, self._query_routing, node, query, 0)
+            self.transport.at(at_time, self._start_root, node, query, root)
+        return fut
+
+    def _start_root(self, node, query: RangeQuery, root: "int | None") -> None:
+        try:
+            self._start(node, query)
+        finally:
+            self.engine.settle(query.qid, root)
+
+    def _start(self, node, query: RangeQuery) -> None:
+        """Protocol-specific first step (overridden by the baselines)."""
+        self._query_routing(node, query, 0)
 
     # -- Algorithm 3: QueryRouting ---------------------------------------------
 
@@ -195,19 +293,15 @@ class QueryProtocol(Protocol):
         qid = sqs[0].qid
         if dest is src:
             # Local hand-off (single-node ring): no network message.
-            self.transport.send(
+            self._tracked_send(
                 src, dest, self._open_bundle, dest, kind, sqs, hops,
                 kind=f"query:{kind}", size=0, qid=qid,
-                on_drop=self._count_drop(qid),
             )
             return
         size = query_message_size(len(sqs), self.index.k)
-        self.stats.for_query(qid).record_query_message(size)
-        self.note_traffic(src, dest)
-        self.transport.send(
+        self._tracked_send(
             src, dest, self._open_bundle, dest, kind, sqs, hops + 1,
             kind=f"query:{kind}", size=size, qid=qid,
-            on_drop=self._count_drop(qid),
         )
 
     def _open_bundle(self, dest, kind: str, sqs: "list[RangeQuery]", hops: int) -> None:
@@ -300,6 +394,8 @@ class QueryProtocol(Protocol):
         """
         st = self.stats.for_query(q.qid)
         st.record_index_node(node.id, hops)
+        if self.engine is not None:
+            self.engine.mark_resolving(q.qid)
         entries: "list[ResultEntry]" = []
         shard = self.index.shards.get(node)
         if shard is not None and len(shard):
@@ -327,15 +423,20 @@ class QueryProtocol(Protocol):
         if q.source is node:
             st.record_result_message(0, self.sim.now)
             st.entries.extend(entries)
+            if self.engine is not None:
+                self.engine.add_entries(q.qid, entries)
             return
         self.note_traffic(node, q.source)
-        self.transport.send(
+        # result bytes are charged on arrival (a dropped or duplicated reply
+        # must not count), hence record=False here
+        self._tracked_send(
             node, q.source, self._arrive_result, q.qid, msg,
-            kind="result", size=msg.size, qid=q.qid,
-            on_drop=self._count_drop(q.qid),
+            kind="result", size=msg.size, qid=q.qid, record=False,
         )
 
     def _arrive_result(self, qid: int, msg: ResultMessage) -> None:
         st = self.stats.for_query(qid)
         st.record_result_message(msg.size, self.sim.now)
         st.entries.extend(msg.entries)
+        if self.engine is not None:
+            self.engine.add_entries(qid, msg.entries)

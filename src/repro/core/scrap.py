@@ -134,16 +134,7 @@ class SfcRangeProtocol(QueryProtocol):
     the interval.
     """
 
-    def issue(self, query: RangeQuery, node, at_time: "float | None" = None) -> None:
-        query.source = node
-        st = self.stats.for_query(query.qid)
-        st.issued_at = self.sim.now if at_time is None else at_time
-        if at_time is None:
-            self._issue_now(node, query)
-        else:
-            self.transport.at(at_time, self._issue_now, node, query)
-
-    def _issue_now(self, node, query: RangeQuery) -> None:
+    def _start(self, node, query: RangeQuery) -> None:
         for key_lo, key_hi in self.index.query_intervals(query.rect):
             path = self.index.ring.lookup_path(node, key_lo)
             self._lookup_hop(path, 0, query, key_lo, key_hi, 0)
@@ -168,10 +159,7 @@ class SfcRangeProtocol(QueryProtocol):
 
     def _hop_message(self, src, dst, q: RangeQuery, handler, *args) -> None:
         size = query_message_size(1, self.index.k)
-        self.stats.for_query(q.qid).record_query_message(size)
-        self.note_traffic(src, dst)
-        self.transport.send(
+        self._tracked_send(
             src, dst, handler, *args,
             kind="scrap:interval", size=size, qid=q.qid,
-            on_drop=self._count_drop(q.qid),
         )

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.core.lifecycle import RetryPolicy
 from repro.core.loadbalance import LoadBalanceReport, dynamic_load_migration
 from repro.core.platform import IndexPlatform
 from repro.datasets.documents import SyntheticCorpusConfig, generate_corpus, generate_topics
@@ -93,6 +94,15 @@ class ExperimentConfig:
     #: Optional transport fault model (loss / jitter / partitions) applied to
     #: every message of every scheme run; None = the paper's fault-free runs.
     faults: "FaultConfig | None" = None
+    #: Optional lifecycle policy (per-query deadline, retransmission with
+    #: exponential backoff).  Required for faulted runs to terminate with
+    #: explicit per-query states instead of silently losing results.
+    policy: "RetryPolicy | None" = None
+    #: Pipelined batch execution (all queries of a sweep point in flight
+    #: concurrently, harvested as they complete) versus the serial
+    #: issue-and-drain baseline.  Identical per-query stats when faults are
+    #: off; pipelined is the wall-clock-faster default.
+    pipelined: bool = True
 
 
 @dataclass
@@ -244,6 +254,8 @@ def run_scheme(
         stats = platform.run_workload(
             scheme.label,
             workload,
+            pipelined=cfg.pipelined,
+            policy=cfg.policy,
             surrogate_mode=cfg.surrogate_mode,
             top_k=cfg.top_k,
             range_filter=cfg.range_filter,

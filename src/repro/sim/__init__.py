@@ -27,6 +27,7 @@ from repro.sim.transport import (
     MemoryTraceSink,
     MessageTrace,
     Protocol,
+    TimerHandle,
     TraceSink,
     Transport,
     TransportStats,
@@ -54,6 +55,7 @@ __all__ = [
     "Protocol",
     "FaultConfig",
     "MessageTrace",
+    "TimerHandle",
     "TraceSink",
     "MemoryTraceSink",
     "JsonlTraceSink",

@@ -42,6 +42,23 @@ class QueryStats:
     dropped_messages: int = 0
     index_nodes: set = field(default_factory=set)
     entries: list = field(default_factory=list)
+    #: lifecycle state mirror ("untracked" when no LifecycleEngine is wired;
+    #: otherwise issued/routing/resolving/complete/timed_out)
+    state: str = "untracked"
+    #: simulation time the query reached a terminal state (engine-tracked)
+    completed_at: "float | None" = None
+    #: message branches re-sent by the lifecycle engine (retries are real
+    #: traffic: their bytes land in query_bytes like any other send)
+    retransmissions: int = 0
+    #: duplicate deliveries suppressed by idempotent branch ids
+    duplicate_messages: int = 0
+    #: branches abandoned after exhausting retries
+    failed_branches: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        """True once an engine-tracked query completed or timed out."""
+        return self.state in ("complete", "timed_out")
 
     @property
     def response_time(self) -> "float | None":
@@ -136,6 +153,19 @@ class StatsCollector:
             return 0.0
         return float(np.mean([len(q.index_nodes) for q in self.queries.values()]))
 
+    def state_counts(self) -> "dict[str, int]":
+        """Queries per lifecycle state (``{"complete": 48, "timed_out": 2}``)."""
+        out: "dict[str, int]" = {}
+        for qs in self.queries.values():
+            out[qs.state] = out.get(qs.state, 0) + 1
+        return out
+
+    def total_retransmissions(self) -> int:
+        return sum(qs.retransmissions for qs in self.queries.values())
+
+    def total_timed_out(self) -> int:
+        return sum(1 for qs in self.queries.values() if qs.state == "timed_out")
+
     def summary(self) -> "dict[str, float]":
         """All aggregate metrics as a flat dict (one row of a results table)."""
         return {
@@ -148,4 +178,6 @@ class StatsCollector:
             "total_bytes": self.mean_total_bytes(),
             "query_messages": self.mean_query_messages(),
             "index_nodes": self.mean_index_nodes(),
+            "timed_out": float(self.total_timed_out()),
+            "retransmissions": float(self.total_retransmissions()),
         }

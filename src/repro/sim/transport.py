@@ -43,6 +43,7 @@ __all__ = [
     "FaultConfig",
     "TransportStats",
     "MessageTrace",
+    "TimerHandle",
     "TraceSink",
     "MemoryTraceSink",
     "JsonlTraceSink",
@@ -120,7 +121,9 @@ class MessageTrace:
 
     ``arrived_at`` stays ``None`` for dropped messages; ``status`` is one of
     ``"delivered"``, ``"dropped:dead"``, ``"dropped:loss"``,
-    ``"dropped:partition"``.
+    ``"dropped:partition"``.  ``attempt`` is the transmission attempt the
+    record belongs to: 1 for the original send, 2+ for lifecycle-engine
+    retransmissions of the same logical message.
     """
 
     kind: str
@@ -133,6 +136,40 @@ class MessageTrace:
     arrived_at: "float | None" = None
     status: str = "sent"
     qid: "int | None" = None
+    attempt: int = 1
+
+
+class TimerHandle:
+    """A cancelable local timer scheduled on the simulator.
+
+    The discrete-event heap cannot remove entries, so cancellation is lazy:
+    the queued event stays in place and fires as a no-op.  ``cancel()`` is
+    idempotent; ``active`` is True until the timer either fires or is
+    cancelled.
+    """
+
+    __slots__ = ("_fn", "_args", "_done")
+
+    def __init__(self, fn: Callable, args: "tuple[Any, ...]"):
+        self._fn = fn
+        self._args = args
+        self._done = False
+
+    @property
+    def active(self) -> bool:
+        return not self._done
+
+    def cancel(self) -> None:
+        self._done = True
+        self._fn = None
+        self._args = ()
+
+    def _fire(self) -> None:
+        if self._done:
+            return
+        fn, args = self._fn, self._args
+        self.cancel()
+        fn(*args)
 
 
 class TraceSink:
@@ -239,6 +276,19 @@ class Transport:
         """Run ``fn(*args)`` at absolute simulation time ``time``."""
         self.sim.schedule_at(time, fn, *args)
 
+    def timer_cancelable(self, delay: float, fn: Callable, *args: Any) -> TimerHandle:
+        """Like :meth:`timer`, returning a handle that can cancel the firing
+        (retransmission timeouts, per-query deadlines)."""
+        handle = TimerHandle(fn, args)
+        self.sim.schedule_in(delay, handle._fire)
+        return handle
+
+    def at_cancelable(self, time: float, fn: Callable, *args: Any) -> TimerHandle:
+        """Like :meth:`at`, returning a cancelable :class:`TimerHandle`."""
+        handle = TimerHandle(fn, args)
+        self.sim.schedule_at(time, handle._fire)
+        return handle
+
     # -- network model ---------------------------------------------------------
 
     def delay(self, src_host: int, dst_host: int) -> float:
@@ -264,6 +314,7 @@ class Transport:
         kind: str = "message",
         size: int = 0,
         qid: "int | None" = None,
+        attempt: int = 1,
         on_drop: "Callable[[MessageTrace], None] | None" = None,
     ) -> bool:
         """Deliver ``handler(*args)`` at ``dst`` after the network delay.
@@ -283,6 +334,7 @@ class Transport:
             size=size,
             sent_at=self.sim.now,
             qid=qid,
+            attempt=attempt,
         )
         self.stats.sent += 1
         self.stats.bytes += size
