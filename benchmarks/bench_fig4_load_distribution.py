@@ -13,16 +13,21 @@ from repro.eval.experiments import figure4_config
 from repro.eval.report import format_load_distribution
 from repro.eval.runner import build_bundle, run_scheme
 from repro.eval.runner import ExperimentResult
+from repro.obs import Observability, format_hotspot_report, gauge_vector, hotspot_report
+from repro.obs.load import STORED_ENTRIES_GAUGE
 
 
-def test_figure4_load_distribution(benchmark, save_result):
+def test_figure4_load_distribution(benchmark, save_result, save_metrics):
     cfg = figure4_config(**bench_overrides(range_factors=(0.05,)))
     bundle = build_bundle(cfg)
+    # per-node loads land in the registry's node_stored_entries gauge (one
+    # label per scheme); the figure below reads them back from there
+    obs = Observability(metrics=True)
 
     def run():
         result = ExperimentResult(config=cfg)
         for i, scheme in enumerate(cfg.schemes):
-            result.schemes.append(run_scheme(cfg, scheme, bundle, seed_offset=i))
+            result.schemes.append(run_scheme(cfg, scheme, bundle, seed_offset=i, obs=obs))
         return result
 
     result = run_once(benchmark, run)
@@ -35,10 +40,21 @@ def test_figure4_load_distribution(benchmark, save_result):
         "i.e. max/mean ~1.7",
         "",
         format_load_distribution(result, top_n=10),
+        "",
     ]
+    for s in result.schemes:
+        loads = gauge_vector(obs.registry, STORED_ENTRIES_GAUGE,
+                             match={"scheme": s.scheme.label})
+        lines.append(format_hotspot_report(
+            hotspot_report(loads), title=f"[{s.scheme.label}]"))
     save_result("figure4", "\n".join(lines))
+    save_metrics("figure4", obs.registry)
 
     for s in result.schemes:
+        # the rendered distribution is the registry gauge, resorted
+        loads = gauge_vector(obs.registry, STORED_ENTRIES_GAUGE,
+                             match={"scheme": s.scheme.label})
+        assert loads.sum() == s.load_distribution.sum()
         # even distribution after balancing: max within a small factor of mean
         assert s.load_stats["max_over_mean"] < 4.0
         # all entries preserved

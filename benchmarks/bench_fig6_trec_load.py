@@ -13,16 +13,19 @@ from benchmarks.conftest import bench_overrides, run_once
 from repro.eval.experiments import figure6_config
 from repro.eval.report import format_load_distribution
 from repro.eval.runner import ExperimentResult, build_bundle, run_scheme
+from repro.obs import Observability, format_hotspot_report, gauge_vector, hotspot_report
+from repro.obs.load import STORED_ENTRIES_GAUGE
 
 
-def test_figure6_trec_load(benchmark, save_result):
+def test_figure6_trec_load(benchmark, save_result, save_metrics):
     cfg = figure6_config(**bench_overrides(range_factors=(0.05,)))
     bundle = build_bundle(cfg)
+    obs = Observability(metrics=True)
 
     def run():
         result = ExperimentResult(config=cfg)
         for i, scheme in enumerate(cfg.schemes):
-            result.schemes.append(run_scheme(cfg, scheme, bundle, seed_offset=i))
+            result.schemes.append(run_scheme(cfg, scheme, bundle, seed_offset=i, obs=obs))
         return result
 
     result = run_once(benchmark, run)
@@ -37,8 +40,21 @@ def test_figure6_trec_load(benchmark, save_result):
         "k-means spreads the index",
         "",
         format_load_distribution(result, top_n=10),
+        "",
     ]
+    for s in result.schemes:
+        loads = gauge_vector(obs.registry, STORED_ENTRIES_GAUGE,
+                             match={"scheme": s.scheme.label})
+        lines.append(format_hotspot_report(
+            hotspot_report(loads), title=f"[{s.scheme.label}]"))
     save_result("figure6", "\n".join(lines))
+    save_metrics("figure6", obs.registry)
+
+    # the figure's distributions come straight from the registry gauge
+    for s in result.schemes:
+        loads = gauge_vector(obs.registry, STORED_ENTRIES_GAUGE,
+                             match={"scheme": s.scheme.label})
+        assert loads.sum() == s.load_distribution.sum()
 
     # The paper's qualitative claim: greedy's distribution is far more
     # concentrated than k-means' (higher gini / fewer loaded nodes).

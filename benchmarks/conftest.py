@@ -51,6 +51,23 @@ def save_result():
     return _save
 
 
+@pytest.fixture
+def save_metrics():
+    """Dump a metrics-registry snapshot to benchmarks/results/<name>_metrics.jsonl
+    (render it with ``repro metrics <path>``)."""
+
+    def _save(name: str, registry) -> "Path":
+        from repro.obs.export import write_jsonl
+
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}_metrics.jsonl"
+        write_jsonl(registry.snapshot(), path)
+        print(f"[metrics snapshot saved to {path}]")
+        return path
+
+    return _save
+
+
 def run_once(benchmark, fn):
     """Run an expensive experiment exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -11,6 +11,9 @@ Usage::
     python -m repro table1
     python -m repro table2 [--corpus-scale F]
     python -m repro quickstart
+    python -m repro obs-demo [--out-dir DIR] [--queries N] [--loss P]
+    python -m repro metrics DIR/metrics.jsonl [--prefix transport_]
+    python -m repro trace QID --file DIR/spans.jsonl
 
 The figure commands print the same tables the benchmark suite saves under
 ``benchmarks/results/``; ``--scale paper`` runs the authors' full parameters
@@ -60,6 +63,31 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("quickstart", help="run the quickstart example")
     check = sub.add_parser("check", help="run the installation self-check battery")
     check.add_argument("--seed", type=int, default=0)
+
+    mtr = sub.add_parser("metrics", help="render a recorded metrics snapshot (JSONL)")
+    mtr.add_argument("file", help="metrics JSONL written by export_metrics / obs-demo")
+    mtr.add_argument("--prefix", default="", help="only metrics whose name starts with this")
+    mtr.add_argument("--out", type=str, default=None)
+
+    tr = sub.add_parser("trace", help="render one query's span tree from a trace JSONL")
+    tr.add_argument("qid", type=int, nargs="?", default=None,
+                    help="query id; omit to list the qids in the file")
+    tr.add_argument("--file", required=True,
+                    help="spans JSONL written by Observability(trace_path=...) / obs-demo")
+    tr.add_argument("--max-spans", type=int, default=400)
+    tr.add_argument("--out", type=str, default=None)
+
+    demo = sub.add_parser(
+        "obs-demo",
+        help="run a small fault-injected workload with full observability on, "
+             "writing metrics/spans/health JSONL artifacts",
+    )
+    demo.add_argument("--out-dir", default="obs-demo-out")
+    demo.add_argument("--queries", type=int, default=50)
+    demo.add_argument("--nodes", type=int, default=32)
+    demo.add_argument("--objects", type=int, default=2000)
+    demo.add_argument("--loss", type=float, default=0.05)
+    demo.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -143,6 +171,73 @@ def _run_table2(args) -> None:
     _emit(format_table(["statistic", "paper", "measured"], rows, title="Table 2"), args.out)
 
 
+def _run_metrics(args) -> None:
+    from repro.obs.export import format_metrics_rows, read_metrics_jsonl
+
+    rows = read_metrics_jsonl(args.file)
+    _emit(format_metrics_rows(rows, prefix=args.prefix), args.out)
+
+
+def _run_trace(args) -> int:
+    import json
+
+    from repro.obs.spans import SpanTree
+
+    if args.qid is None:
+        counts: "dict[int, int]" = {}
+        with open(args.file) as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                qid = json.loads(line).get("qid")
+                if qid is not None:
+                    counts[qid] = counts.get(qid, 0) + 1
+        lines = [f"{len(counts)} traced queries in {args.file}"] + [
+            f"  qid {qid}: {n} spans" for qid, n in sorted(counts.items())
+        ]
+        print("\n".join(lines))
+        return 0
+    tree = SpanTree.from_jsonl(args.file, qid=args.qid)
+    if not len(tree):
+        print(f"no spans recorded for qid {args.qid} in {args.file}")
+        return 1
+    _emit(f"query {args.qid}: {len(tree)} spans\n" + tree.render(args.max_spans),
+          args.out)
+    return 0
+
+
+def _run_obs_demo(args) -> None:
+    from repro.eval.report import format_dict
+    from repro.obs import format_hotspot_report, format_metrics_table, hotspot_report
+    from repro.obs.demo import run_demo
+
+    result = run_demo(
+        args.out_dir, n_nodes=args.nodes, n_objects=args.objects,
+        n_queries=args.queries, loss=args.loss, seed=args.seed,
+    )
+    stats, obs = result["stats"], result["obs"]
+    print(format_dict(stats.summary(), title="[workload summary]"))
+    print()
+    print(format_metrics_table(obs.registry, prefix="transport_"))
+    print()
+    print(format_metrics_table(obs.registry, prefix="lifecycle_"))
+    print()
+    loads = result["index"].load_distribution()
+    print(format_hotspot_report(hotspot_report(loads), title="[stored-entry load]"))
+    qids = sorted(obs.span_memory.qids()) if obs.span_memory else []
+    if qids:
+        print()
+        tree = obs.span_tree(qids[0])
+        print(f"[sample trace: qid {qids[0]}, {len(tree)} spans]")
+        print(tree.render(max_spans=40))
+    if result["paths"]:
+        print()
+        for kind, path in result["paths"].items():
+            print(f"[{kind} written to {path}]")
+        print(f"render with: repro metrics {result['paths']['metrics']}  |  "
+              f"repro trace <qid> --file {result['paths']['spans']}")
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """Entry point (``python -m repro ...``)."""
     args = build_parser().parse_args(argv)
@@ -164,6 +259,12 @@ def main(argv: "list[str] | None" = None) -> int:
         result = self_check(seed=args.seed)
         print(result)
         return 0 if result.ok else 1
+    elif args.command == "metrics":
+        _run_metrics(args)
+    elif args.command == "trace":
+        return _run_trace(args)
+    elif args.command == "obs-demo":
+        _run_obs_demo(args)
     return 0
 
 

@@ -232,11 +232,46 @@ class LifecycleEngine:
     platform, see :class:`repro.core.query.QidAllocator`).
     """
 
-    def __init__(self, transport, policy: "RetryPolicy | None" = None):
+    def __init__(
+        self,
+        transport,
+        policy: "RetryPolicy | None" = None,
+        metrics=None,
+        recorder=None,
+    ):
         self.transport = transport
         self.policy = policy if policy is not None else RetryPolicy()
         self.records: "dict[int, _Record]" = {}
         self.counters = LifecycleCounters()
+        #: optional SpanRecorder — retransmission/deadline events become
+        #: spans, and query root spans are finished here (the engine is the
+        #: one component that knows when a query reached a terminal state)
+        self.recorder = recorder
+        # instruments resolved once; open/settle run per message branch
+        if metrics is not None and getattr(metrics, "enabled", False):
+            self._m_opened = metrics.counter(
+                "lifecycle_branches_opened_total", "Branches opened")
+            self._m_settled = metrics.counter(
+                "lifecycle_branches_settled_total", "Branches settled",
+                ("outcome",))
+            self._m_retrans = metrics.counter(
+                "lifecycle_retransmissions_total", "Branch retransmissions")
+            self._m_deadline = metrics.counter(
+                "lifecycle_deadline_hits_total", "Per-query deadline firings")
+            self._m_queries = metrics.counter(
+                "lifecycle_queries_total", "Queries reaching a terminal state",
+                ("state",))
+            self._m_dups = metrics.counter(
+                "lifecycle_duplicates_total", "Duplicate deliveries suppressed")
+        else:
+            self._m_opened = self._m_settled = self._m_retrans = None
+            self._m_deadline = self._m_queries = self._m_dups = None
+
+    def branches_in_flight(self) -> int:
+        """Outstanding branches across all live queries (health sampling)."""
+        return sum(
+            rec.outstanding for rec in self.records.values() if not rec.terminal
+        )
 
     # -- registration -----------------------------------------------------------
 
@@ -291,6 +326,8 @@ class LifecycleEngine:
         rec.next_bid += 1
         rec.branches[bid] = _Branch(bid)
         rec.outstanding += 1
+        if self._m_opened is not None:
+            self._m_opened.inc()
         if rec.state == ISSUED:
             self._set_state(rec, ROUTING)
         return bid
@@ -323,6 +360,8 @@ class LifecycleEngine:
             return False
         if bid in rec.seen:
             self.counters.duplicates_suppressed += 1
+            if self._m_dups is not None:
+                self._m_dups.inc()
             if rec.stats is not None:
                 rec.stats.duplicate_messages += 1
             return False
@@ -346,6 +385,8 @@ class LifecycleEngine:
             self.counters.branches_failed += 1
             if rec.stats is not None:
                 rec.stats.failed_branches += 1
+        if self._m_settled is not None:
+            self._m_settled.inc(("failed" if failed else "ok",))
         rec.outstanding -= 1
         if rec.outstanding <= 0:
             self._complete(rec)
@@ -424,6 +465,11 @@ class LifecycleEngine:
         br.attempts += 1
         if br.attempts > 1:
             self.counters.retransmissions += 1
+            if self._m_retrans is not None:
+                self._m_retrans.inc()
+            if self.recorder is not None:
+                self.recorder.event(
+                    rec.qid, "retransmit", bid=br.bid, attempt=br.attempts)
             if rec.stats is not None:
                 rec.stats.retransmissions += 1
         attempt = br.attempts
@@ -473,11 +519,18 @@ class LifecycleEngine:
         rec.outstanding = 0
         self._set_state(rec, TIMED_OUT)
         self.counters.timed_out += 1
+        if self._m_deadline is not None:
+            self._m_deadline.inc()
+            self._m_queries.inc((TIMED_OUT,))
+        if self.recorder is not None:
+            self.recorder.event(rec.qid, "deadline", status=TIMED_OUT)
         self._finalize(rec)
 
     def _complete(self, rec: _Record) -> None:
         self._set_state(rec, COMPLETE)
         self.counters.completed += 1
+        if self._m_queries is not None:
+            self._m_queries.inc((COMPLETE,))
         self._finalize(rec)
 
     def _finalize(self, rec: _Record) -> None:
@@ -486,6 +539,8 @@ class LifecycleEngine:
             rec.deadline_timer = None
         if rec.stats is not None:
             rec.stats.completed_at = self.transport.sim.now
+        if self.recorder is not None:
+            self.recorder.finish_query(rec.qid, status=rec.state)
         callbacks, rec.callbacks = rec.callbacks, []
         for fn in callbacks:
             fn(rec.future)

@@ -331,6 +331,13 @@ class IndexPlatform:
     transport:
         Pass an existing :class:`repro.sim.transport.Transport` to share it
         (mutually exclusive with faults/trace, which configure a new one).
+    obs:
+        Optional :class:`repro.obs.Observability`.  Its metrics registry is
+        attached to the transport and threaded into every protocol and
+        lifecycle engine the platform creates; its span recorder (when
+        tracing is on) is bound to the platform's simulator.  The platform
+        is a context manager — ``with IndexPlatform(..., obs=obs) as p:``
+        guarantees trace sinks are flushed and closed on any exit path.
     """
 
     def __init__(
@@ -341,9 +348,12 @@ class IndexPlatform:
         faults: "FaultConfig | None" = None,
         trace: "TraceSink | None" = None,
         transport: "Transport | None" = None,
+        obs=None,
     ):
         self.ring = ring
         self.latency = latency if latency is not None else ring.latency
+        self.obs = obs
+        registry = obs.registry if obs is not None else None
         if transport is not None:
             if faults is not None or trace is not None:
                 raise ValueError("pass either transport= or faults=/trace=, not both")
@@ -351,15 +361,40 @@ class IndexPlatform:
             self.sim = transport.sim
             if transport.latency is not None:
                 self.latency = transport.latency
+            if registry is not None:
+                transport.attach_metrics(registry)
         else:
             self.sim = sim or Simulator()
             self.transport = Transport(
-                sim=self.sim, latency=self.latency, faults=faults, trace=trace
+                sim=self.sim, latency=self.latency, faults=faults, trace=trace,
+                metrics=registry,
             )
+        self.trace = self.transport.trace
+        if obs is not None:
+            obs.bind(self.sim)
         self.indexes: "dict[str, LandmarkIndex]" = {}
         #: platform-scoped query ids: unique across all indexes and
         #: concurrent queries, reproducible per platform instance
         self.qids = QidAllocator()
+
+    # -- teardown --------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the observability bundle and any trace sink.
+
+        Idempotent; runs on ``with``-exit so an exception mid-run cannot
+        leave truncated JSONL trace files behind.
+        """
+        if self.obs is not None:
+            self.obs.close()
+        if self.trace is not None:
+            self.trace.close()
+
+    def __enter__(self) -> "IndexPlatform":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- index lifecycle -------------------------------------------------------------
 
@@ -462,6 +497,7 @@ class IndexPlatform:
         """
         # note: an empty StatsCollector is falsy (len == 0), so test identity
         stats = stats if stats is not None else StatsCollector()
+        kwargs.setdefault("obs", self.obs)
         proto = QueryProtocol(
             index=self.indexes[name], stats=stats, transport=self.transport, **kwargs
         )
@@ -470,7 +506,26 @@ class IndexPlatform:
     def lifecycle(self, policy: "RetryPolicy | None" = None) -> LifecycleEngine:
         """A fresh :class:`repro.core.lifecycle.LifecycleEngine` on the
         platform's transport (deadlines, retries and completion futures)."""
-        return LifecycleEngine(self.transport, policy=policy)
+        obs = self.obs
+        return LifecycleEngine(
+            self.transport, policy=policy,
+            metrics=obs.registry if obs is not None else None,
+            recorder=obs.recorder if obs is not None else None,
+        )
+
+    def health_sampler(self, interval: float = 1.0, engine=None, **kwargs):
+        """A :class:`repro.obs.HealthSampler` wired to this platform.
+
+        Samples event-queue depth, live ring membership and the per-node
+        load deciles of all hosted indexes; pass the run's lifecycle
+        ``engine`` to include in-flight branch counts.  Requires ``obs=``.
+        """
+        if self.obs is None:
+            raise RuntimeError("health_sampler requires the platform's obs=")
+        return self.obs.health_sampler(
+            self.sim, interval, ring=self.ring, engine=engine,
+            load_fn=self.load_distribution, **kwargs,
+        )
 
     def run_workload(
         self,
@@ -502,6 +557,11 @@ class IndexPlatform:
         proto, stats = self.protocol(name, engine=engine, **protocol_kwargs)
         index = self.indexes[name]
         nodes = self.ring.nodes()
+        # Maintenance traffic has no qid, so per-query stats can't carry it;
+        # snapshot the transport's per-class counters around the run instead
+        # and hand the delta to the collector (query-vs-maintenance split).
+        maint_bytes0 = self.transport.stats.maintenance_bytes
+        maint_msgs0 = self.transport.stats.maintenance_messages
 
         def issue_one(i: int):
             obj = take(workload.points, i)
@@ -526,6 +586,10 @@ class IndexPlatform:
                     engine.run_until_complete([fut])
                 else:
                     self.sim.run()
+        stats.maintenance_bytes += self.transport.stats.maintenance_bytes - maint_bytes0
+        stats.maintenance_messages += (
+            self.transport.stats.maintenance_messages - maint_msgs0
+        )
         return stats
 
     def query_async(

@@ -104,6 +104,13 @@ class QueryProtocol(Protocol):
         :meth:`issue` registers the query with it and returns its
         :class:`repro.core.lifecycle.QueryFuture`; every message becomes a
         tracked, retryable branch.
+    obs:
+        Optional :class:`repro.obs.Observability`.  Routing counters and hop
+        histograms land in its metrics registry; when its span recorder is
+        active, every routing step, surrogate refinement, local solve,
+        message send/drop and result arrival is emitted as a qid-correlated
+        span (see :mod:`repro.obs.spans`).  ``None`` (the default) costs one
+        ``is not None`` test per step.
     """
 
     def __init__(
@@ -119,6 +126,7 @@ class QueryProtocol(Protocol):
         maintenance=None,
         transport=None,
         engine=None,
+        obs=None,
     ):
         if surrogate_mode not in ("fixed", "literal"):
             raise ValueError(f"unknown surrogate_mode {surrogate_mode!r}")
@@ -134,6 +142,31 @@ class QueryProtocol(Protocol):
         self.range_filter = range_filter
         self.reply_empty = reply_empty
         self.engine = engine
+        self.recorder = obs.recorder if obs is not None else None
+        registry = obs.registry if obs is not None else None
+        if registry is not None and registry.enabled:
+            from repro.obs.registry import DEFAULT_HOP_BUCKETS
+
+            proto = type(self).__name__
+            self._m_splits = registry.counter(
+                "routing_splits_total", "Queries split one level deeper",
+                ("proto",))
+            self._m_refines = registry.counter(
+                "routing_surrogate_refines_total", "Surrogate refinements",
+                ("proto", "mode"))
+            self._m_solves = registry.counter(
+                "routing_local_solves_total", "Local range-query resolutions",
+                ("proto",))
+            self._h_hops = registry.histogram(
+                "routing_index_node_hops", "Overlay hops to reach index nodes",
+                ("proto",), buckets=DEFAULT_HOP_BUCKETS)
+            self._proto_label = (proto,)
+            self._refine_label = (proto, surrogate_mode)
+        else:
+            self._m_splits = self._m_refines = None
+            self._m_solves = self._h_hops = None
+            self._proto_label = ()
+            self._refine_label = ()
 
     # -- key-space helpers ----------------------------------------------------
 
@@ -153,14 +186,17 @@ class QueryProtocol(Protocol):
     # through _recv, so branch accounting, retransmission and duplicate
     # suppression live in exactly one place.
 
-    def _drop_cb(self, qid: int, bid: "int | None" = None):
+    def _drop_cb(self, qid: int, bid: "int | None" = None, psid: "int | None" = None):
         """A per-message drop callback: attribute the loss to ``qid`` and
         notify the lifecycle engine so the branch retries or settles."""
         st = self.stats.for_query(qid)
         engine = self.engine
+        recorder = self.recorder
 
-        def on_drop(_trace) -> None:
+        def on_drop(trace) -> None:
             st.dropped_messages += 1
+            if recorder is not None:
+                recorder.event(qid, "drop", parent=psid, status=trace.status)
             if engine is not None:
                 engine.notify_drop(qid, bid)
 
@@ -183,18 +219,34 @@ class QueryProtocol(Protocol):
         per transmission attempt (retries are real traffic); result replies
         pass ``record=False`` and account on arrival instead.  Without an
         engine this degrades to a plain transport send.
+
+        With a span recorder, each transmission attempt emits a ``send``
+        span parented to the span that was current when the send was
+        *initiated* (captured here — a retransmission fires from a timer,
+        when the context stack is long gone).  The send span's id travels
+        with the message so processing at the receiver nests under it.
         """
         engine = self.engine
         bid = engine.open(qid) if engine is not None else None
+        recorder = self.recorder
+        parent = recorder.context(qid) if recorder is not None else None
+        charged = bool(record and size)
 
         def transmit(attempt: int = 1) -> None:
             if record and size:
                 self.stats.for_query(qid).record_query_message(size)
                 self.note_traffic(src, dst)
+            psid = None
+            if recorder is not None:
+                psid = recorder.event(
+                    qid, "send", parent=parent, node=src.id,
+                    msg_kind=kind, size=size, dst=dst.id,
+                    attempt=attempt, charged=charged,
+                )
             self.transport.send(
-                src, dst, self._recv, qid, bid, fn, args,
+                src, dst, self._recv, qid, bid, psid, fn, args,
                 kind=kind, size=size, qid=qid, attempt=attempt,
-                on_drop=self._drop_cb(qid, bid),
+                on_drop=self._drop_cb(qid, bid, psid),
             )
 
         if bid is None:
@@ -202,18 +254,30 @@ class QueryProtocol(Protocol):
         else:
             engine.arm(qid, bid, transmit)
 
-    def _recv(self, qid: int, bid: "int | None", fn, args) -> None:
-        """Arrival half of :meth:`_tracked_send`: dedup, process, settle."""
-        engine = self.engine
-        if engine is None or bid is None:
-            fn(*args)
-            return
-        if not engine.accept(qid, bid):
-            return
+    def _recv(self, qid: int, bid: "int | None", psid: "int | None", fn, args) -> None:
+        """Arrival half of :meth:`_tracked_send`: dedup, process, settle.
+
+        ``psid`` is the sid of the send span this message belongs to; it is
+        pushed as the current span while the handler runs so everything the
+        receiver does nests under the message that triggered it.
+        """
+        recorder = self.recorder
+        if recorder is not None and psid is not None:
+            recorder.push(psid)
         try:
-            fn(*args)
+            engine = self.engine
+            if engine is None or bid is None:
+                fn(*args)
+                return
+            if not engine.accept(qid, bid):
+                return
+            try:
+                fn(*args)
+            finally:
+                engine.settle(qid, bid)
         finally:
-            engine.settle(qid, bid)
+            if recorder is not None and psid is not None:
+                recorder.pop()
 
     # -- entry points ----------------------------------------------------------
 
@@ -226,6 +290,8 @@ class QueryProtocol(Protocol):
         query.source = node
         st = self.stats.for_query(query.qid)
         st.issued_at = self.sim.now if at_time is None else at_time
+        if self.recorder is not None:
+            self.recorder.begin_query(query.qid, node=node.id)
         if self.engine is None:
             if at_time is None:
                 self._start(node, query)
@@ -271,20 +337,34 @@ class QueryProtocol(Protocol):
                 n2 = self._next_hop(node, subs[1].prefix_key)
                 # Same next hop for both halves: deliver unsplit (line 8-9).
                 sublist = [q] if n1 is n2 else subs
-        routing_groups: "dict[Any, list[RangeQuery]]" = {}
-        refine_groups: "dict[Any, list[RangeQuery]]" = {}
-        for sq in sublist:
-            n = self._next_hop(node, sq.prefix_key)
-            if n is node:
-                # This node is the predecessor of the prefix key; the owner
-                # is its successor — the surrogate (lines 16-17).
-                refine_groups.setdefault(node.successor, []).append(sq)
-            else:
-                routing_groups.setdefault(n, []).append(sq)
-        for dest, sqs in routing_groups.items():
-            self._send(node, dest, "routing", sqs, hops)
-        for dest, sqs in refine_groups.items():
-            self._send(node, dest, "refine", sqs, hops)
+        if len(sublist) > 1 and self._m_splits is not None:
+            self._m_splits.inc(self._proto_label)
+        recorder = self.recorder
+        sid = None
+        if recorder is not None:
+            sid = recorder.event(
+                q.qid, "route", node=node.id, hops=hops,
+                prefix_len=q.prefix_len, subqueries=len(sublist),
+            )
+            recorder.push(sid)
+        try:
+            routing_groups: "dict[Any, list[RangeQuery]]" = {}
+            refine_groups: "dict[Any, list[RangeQuery]]" = {}
+            for sq in sublist:
+                n = self._next_hop(node, sq.prefix_key)
+                if n is node:
+                    # This node is the predecessor of the prefix key; the
+                    # owner is its successor — the surrogate (lines 16-17).
+                    refine_groups.setdefault(node.successor, []).append(sq)
+                else:
+                    routing_groups.setdefault(n, []).append(sq)
+            for dest, sqs in routing_groups.items():
+                self._send(node, dest, "routing", sqs, hops)
+            for dest, sqs in refine_groups.items():
+                self._send(node, dest, "refine", sqs, hops)
+        finally:
+            if recorder is not None:
+                recorder.pop()
 
     # -- message plumbing --------------------------------------------------------
 
@@ -315,10 +395,24 @@ class QueryProtocol(Protocol):
     # -- Algorithm 5: SurrogateRefine ----------------------------------------------
 
     def _surrogate_refine(self, node, q: RangeQuery, hops: int) -> None:
-        if self.surrogate_mode == "fixed":
-            self._surrogate_refine_fixed(node, q, hops)
-        else:
-            self._surrogate_refine_literal(node, q, hops)
+        if self._m_refines is not None:
+            self._m_refines.inc(self._refine_label)
+        recorder = self.recorder
+        sid = None
+        if recorder is not None:
+            sid = recorder.event(
+                q.qid, "refine", node=node.id, hops=hops,
+                mode=self.surrogate_mode, prefix_len=q.prefix_len,
+            )
+            recorder.push(sid)
+        try:
+            if self.surrogate_mode == "fixed":
+                self._surrogate_refine_fixed(node, q, hops)
+            else:
+                self._surrogate_refine_literal(node, q, hops)
+        finally:
+            if recorder is not None:
+                recorder.pop()
 
     def _claimed_range(self, q: RangeQuery) -> "tuple[int, int]":
         """The key interval of the cuboid a subquery claims."""
@@ -394,6 +488,9 @@ class QueryProtocol(Protocol):
         """
         st = self.stats.for_query(q.qid)
         st.record_index_node(node.id, hops)
+        if self._m_solves is not None:
+            self._m_solves.inc(self._proto_label)
+            self._h_hops.observe(hops, self._proto_label)
         if self.engine is not None:
             self.engine.mark_resolving(q.qid)
         entries: "list[ResultEntry]" = []
@@ -414,8 +511,21 @@ class QueryProtocol(Protocol):
                 entries = [
                     ResultEntry(int(oid), float(d)) for oid, d in zip(object_ids, dists)
                 ]
+        recorder = self.recorder
+        sid = None
+        if recorder is not None:
+            sid = recorder.event(
+                q.qid, "solve", node=node.id, hops=hops,
+                results=len(entries), key_lo=key_lo, key_hi=key_hi,
+            )
         if entries or self.reply_empty:
-            self._reply(node, q, entries)
+            if recorder is not None:
+                recorder.push(sid)
+            try:
+                self._reply(node, q, entries)
+            finally:
+                if recorder is not None:
+                    recorder.pop()
 
     def _reply(self, node, q: RangeQuery, entries: "list[ResultEntry]") -> None:
         msg = ResultMessage(q.qid, entries, from_node=node.id)
@@ -423,6 +533,13 @@ class QueryProtocol(Protocol):
         if q.source is node:
             st.record_result_message(0, self.sim.now)
             st.entries.extend(entries)
+            # a local reply is still one "result" leaf in the span tree —
+            # span counts must match QueryStats.result_messages exactly
+            if self.recorder is not None:
+                self.recorder.event(
+                    q.qid, "result", node=node.id,
+                    results=len(entries), size=0, local=True,
+                )
             if self.engine is not None:
                 self.engine.add_entries(q.qid, entries)
             return
@@ -438,5 +555,10 @@ class QueryProtocol(Protocol):
         st = self.stats.for_query(qid)
         st.record_result_message(msg.size, self.sim.now)
         st.entries.extend(msg.entries)
+        if self.recorder is not None:
+            self.recorder.event(
+                qid, "result", node=msg.from_node,
+                results=len(msg.entries), size=msg.size, local=False,
+            )
         if self.engine is not None:
             self.engine.add_entries(qid, msg.entries)

@@ -6,6 +6,12 @@ QueryRouting / SurrogateRefine invocation and every local resolution as
 teaching (the trace *is* the embedded tree of §3.3), and for asserting
 structural properties in tests (e.g. prefix lengths never decrease along a
 path; every solved leaf's key range is disjoint from its siblings').
+
+This is the *legacy* flat event stream: for qid-correlated parent/child
+spans covering messages, drops and lifecycle events too, pass an
+``obs=Observability(tracing=True)`` to any query protocol instead (see
+:mod:`repro.obs.spans`).  A recorded :class:`QueryTrace` converts into that
+unified span model with :meth:`QueryTrace.to_spans`.
 """
 
 from __future__ import annotations
@@ -61,6 +67,17 @@ class QueryTrace:
 
     def max_prefix_len(self) -> int:
         return max((e.prefix_len for e in self.events), default=0)
+
+    def to_spans(self, recorder=None) -> list:
+        """This trace as unified :class:`repro.obs.spans.Span` records.
+
+        Joins the legacy flat stream into the qid-correlated span model
+        (optionally emitting through a ``SpanRecorder``'s sinks), so old
+        traces render with the same tooling as ``repro trace <qid>``.
+        """
+        from repro.obs.spans import spans_from_query_trace
+
+        return spans_from_query_trace(self, recorder=recorder)
 
     def render(self, m: int, limit: int = 50) -> str:
         """Human-readable listing of the execution."""

@@ -7,7 +7,13 @@ to the paper's reported numbers.
 from __future__ import annotations
 
 
-__all__ = ["format_table", "format_sweep", "format_load_distribution", "format_dict"]
+__all__ = [
+    "format_table",
+    "format_sweep",
+    "format_load_distribution",
+    "format_dict",
+    "SWEEP_METRICS",
+]
 
 
 def format_table(headers: "list[str]", rows: "list[list]", title: str = "") -> str:
@@ -39,7 +45,20 @@ def _fmt(v) -> str:
     return str(v)
 
 
-def format_sweep(result, metrics: "tuple[str, ...]" = ("recall", "hops", "response_time", "max_latency", "total_bytes")) -> str:
+#: default metric blocks of a sweep table; query bandwidth and maintenance
+#: bandwidth are separate columns (the Fig. 3/5 cost comparisons need the
+#: background overlay-upkeep cost split from the per-query cost)
+SWEEP_METRICS = (
+    "recall",
+    "hops",
+    "response_time",
+    "max_latency",
+    "total_bytes",
+    "maintenance_bytes",
+)
+
+
+def format_sweep(result, metrics: "tuple[str, ...]" = SWEEP_METRICS) -> str:
     """Render an :class:`repro.eval.runner.ExperimentResult` sweep.
 
     One block per metric: rows are range factors, columns are schemes —

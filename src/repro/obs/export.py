@@ -1,0 +1,192 @@
+"""Exporters: registry / health / span data out as JSONL, CSV, Prometheus text.
+
+All three formats read the same flat sample records that
+:meth:`MetricsRegistry.snapshot` produces, so the bench harness, the CLI and
+tests share one code path.  ``target`` is a path or a file-like object
+everywhere; file-backed writes always flush-and-close via ``with``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+import re
+from contextlib import contextmanager
+from typing import Any
+
+__all__ = [
+    "write_jsonl",
+    "write_csv",
+    "read_metrics_jsonl",
+    "prometheus_text",
+    "write_prometheus",
+    "export_metrics",
+    "format_metrics_table",
+    "format_metrics_rows",
+]
+
+_LABEL_UNSAFE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+@contextmanager
+def _open_target(target: Any, newline: "str | None" = None):
+    if hasattr(target, "write"):
+        yield target
+    else:
+        with open(target, "w", newline=newline) as fh:
+            yield fh
+
+
+def _flatten(rec: dict) -> dict:
+    """Inline the labels dict so rows are flat for CSV/table output."""
+    out = {k: v for k, v in rec.items() if k != "labels"}
+    for k, v in rec.get("labels", {}).items():
+        out[f"label_{k}"] = v
+    return out
+
+
+def write_jsonl(rows: "list[dict]", target: Any) -> None:
+    """One JSON object per line; NaN encoded as null for portability."""
+
+    def _clean(v):
+        return None if isinstance(v, float) and math.isnan(v) else v
+
+    with _open_target(target) as fh:
+        for row in rows:
+            fh.write(json.dumps({k: _clean(v) for k, v in row.items()},
+                                default=str) + "\n")
+
+
+def write_csv(rows: "list[dict]", target: Any) -> None:
+    """CSV over the union of keys (labels inlined as ``label_<name>``)."""
+    flat = [_flatten(r) for r in rows]
+    fields: "list[str]" = []
+    for r in flat:
+        for k in r:
+            if k not in fields:
+                fields.append(k)
+    with _open_target(target, newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields, restval="")
+        writer.writeheader()
+        writer.writerows(flat)
+
+
+def read_metrics_jsonl(target: Any) -> "list[dict]":
+    """Load snapshot rows back from a JSONL file (inverse of ``write_jsonl``).
+
+    JSON has no NaN, so ``write_jsonl`` stores it as null; restore the NaN
+    here so percentile fields round-trip with the in-memory contract.
+    """
+    if hasattr(target, "read"):
+        lines = target.read().splitlines()
+    else:
+        with open(target) as fh:
+            lines = fh.read().splitlines()
+    rows = []
+    for line in lines:
+        if not line.strip():
+            continue
+        rec = json.loads(line)
+        for k, v in rec.items():
+            if v is None and k != "labels":
+                rec[k] = float("nan")
+        rows.append(rec)
+    return rows
+
+
+def _fmt_labels(labels: "dict[str, str]", extra: "dict[str, str] | None" = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{_LABEL_UNSAFE.sub("_", k)}="{str(v)}"' for k, v in merged.items())
+    return "{" + body + "}"
+
+
+def _fmt_value(v: float) -> str:
+    if isinstance(v, float) and math.isnan(v):
+        return "NaN"
+    return repr(float(v))
+
+
+def prometheus_text(registry) -> str:
+    """Prometheus exposition-format text for every instrument.
+
+    Histograms are rendered as summaries (``quantile`` label) plus
+    ``_sum``/``_count`` — the registry snapshots pre-computed percentiles
+    rather than raw buckets, which is what the CLI and artifacts want.
+    """
+    buf = io.StringIO()
+    seen: "set[str]" = set()
+    for rec in registry.snapshot():
+        name = rec["name"]
+        if name not in seen:
+            seen.add(name)
+            if rec.get("help"):
+                buf.write(f"# HELP {name} {rec['help']}\n")
+            kind = "summary" if rec["type"] == "histogram" else rec["type"]
+            buf.write(f"# TYPE {name} {kind}\n")
+        labels = rec.get("labels", {})
+        if rec["type"] == "histogram":
+            for q in ("p50", "p90", "p99"):
+                quantile = f"0.{q[1:]}"
+                buf.write(
+                    f"{name}{_fmt_labels(labels, {'quantile': quantile})} "
+                    f"{_fmt_value(rec[q])}\n")
+            buf.write(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(rec['sum'])}\n")
+            buf.write(f"{name}_count{_fmt_labels(labels)} {_fmt_value(rec['count'])}\n")
+        else:
+            buf.write(f"{name}{_fmt_labels(labels)} {_fmt_value(rec['value'])}\n")
+    return buf.getvalue()
+
+
+def write_prometheus(registry, target: Any) -> None:
+    with _open_target(target) as fh:
+        fh.write(prometheus_text(registry))
+
+
+def export_metrics(registry, target: Any, fmt: str = "jsonl") -> None:
+    """Dump a registry snapshot in one of ``jsonl``/``csv``/``prom``."""
+    if fmt == "jsonl":
+        write_jsonl(registry.snapshot(), target)
+    elif fmt == "csv":
+        write_csv(registry.snapshot(), target)
+    elif fmt in ("prom", "prometheus", "text"):
+        write_prometheus(registry, target)
+    else:
+        raise ValueError(f"unknown metrics format {fmt!r}")
+
+
+def format_metrics_rows(records: "list[dict]", prefix: str = "") -> str:
+    """Aligned plain-text summary of snapshot rows (live or reloaded).
+
+    ``records`` come from :meth:`MetricsRegistry.snapshot` or from a JSONL
+    file via :func:`read_metrics_jsonl` — the same table either way, which is
+    how ``repro metrics`` renders recorded artifacts.
+    """
+    rows: "list[tuple[str, str]]" = []
+    for rec in records:
+        if prefix and not rec["name"].startswith(prefix):
+            continue
+        label = rec["name"]
+        if rec.get("labels"):
+            label += "{" + ",".join(f"{k}={v}" for k, v in rec["labels"].items()) + "}"
+        if rec["type"] == "histogram":
+            val = (f"count={rec['count']:.0f} sum={rec['sum']:.4g} "
+                   f"p50={rec['p50']:.4g} p90={rec['p90']:.4g} p99={rec['p99']:.4g}")
+        else:
+            val = f"{rec['value']:.6g}"
+        rows.append((label, val))
+    if not rows:
+        return "(no metrics recorded)"
+    width = max(len(r[0]) for r in rows)
+    return "\n".join(f"{name:<{width}}  {val}" for name, val in rows)
+
+
+def format_metrics_table(registry, prefix: str = "") -> str:
+    """Aligned plain-text summary (the ``repro metrics`` output)."""
+    return format_metrics_rows(registry.snapshot(), prefix=prefix)

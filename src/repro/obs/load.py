@@ -1,0 +1,86 @@
+"""Per-node load gauges and the Gini / max-mean hotspot report.
+
+The load-distribution figures (Fig. 4, Fig. 6) and the §3.4 balancer both
+need the same thing: a per-node vector of stored entries (storage load) and
+of query hits (access load).  This module gives those vectors a home in the
+metrics registry — ``node_stored_entries`` / ``node_query_hits`` gauges
+labeled by node position — and turns any such gauge back into a sorted
+vector plus a hotspot summary (max, mean, Gini coefficient, max/mean ratio,
+top-k hotspots) reusing :mod:`repro.eval.metrics`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.metrics import load_summary
+
+__all__ = [
+    "STORED_ENTRIES_GAUGE",
+    "QUERY_HITS_GAUGE",
+    "record_load_vector",
+    "gauge_vector",
+    "hotspot_report",
+    "format_hotspot_report",
+]
+
+STORED_ENTRIES_GAUGE = "node_stored_entries"
+QUERY_HITS_GAUGE = "node_query_hits"
+
+
+def record_load_vector(registry, loads, metric: str = STORED_ENTRIES_GAUGE,
+                       extra_labels: "tuple[str, ...]" = (),
+                       extra_values: "tuple[str, ...]" = ()) -> None:
+    """Set one gauge sample per node position from a load vector.
+
+    ``extra_labels``/``extra_values`` let callers partition the gauge (e.g.
+    by scheme in the Fig. 4 bench: ``("scheme",)`` / ``("scrap",)``).
+    """
+    gauge = registry.gauge(
+        metric, "Per-node load vector", extra_labels + ("pos",))
+    for pos, v in enumerate(np.asarray(loads, dtype=float)):
+        gauge.set(float(v), extra_values + (str(pos),))
+
+
+def gauge_vector(registry, metric: str = STORED_ENTRIES_GAUGE,
+                 match: "dict[str, str] | None" = None) -> np.ndarray:
+    """Read a per-node gauge back as a vector ordered by the ``pos`` label.
+
+    ``match`` filters on other label values (e.g. ``{"scheme": "scrap"}``).
+    Returns an empty array when the metric does not exist.
+    """
+    gauge = registry.get(metric)
+    if gauge is None:
+        return np.empty(0, dtype=float)
+    idx = {name: i for i, name in enumerate(gauge.labelnames)}
+    pos_i = idx.get("pos")
+    out: "list[tuple[int, float]]" = []
+    for labels, value in gauge.samples():
+        if match and any(labels[idx[k]] != v for k, v in match.items() if k in idx):
+            continue
+        pos = int(labels[pos_i]) if pos_i is not None else len(out)
+        out.append((pos, float(value)))
+    out.sort()
+    return np.asarray([v for _, v in out], dtype=float)
+
+
+def hotspot_report(loads, top_k: int = 5) -> dict:
+    """Hotspot summary of a load vector: Fig. 4/6 statistics + top-k nodes."""
+    loads = np.asarray(loads, dtype=float)
+    report = load_summary(loads)
+    order = np.argsort(loads)[::-1][:top_k]
+    report["hotspots"] = [
+        {"pos": int(i), "load": float(loads[i])} for i in order if loads.size]
+    return report
+
+
+def format_hotspot_report(report: dict, title: str = "load") -> str:
+    """Render a hotspot report as the small table ``repro metrics`` prints."""
+    lines = [
+        f"{title}: max={report['max']:.1f} mean={report['mean']:.2f} "
+        f"gini={report['gini']:.3f} max/mean={report['max_over_mean']:.2f} "
+        f"nonzero={int(report['nonzero'])}"
+    ]
+    for h in report.get("hotspots", []):
+        lines.append(f"  hotspot node[{h['pos']}] load={h['load']:.1f}")
+    return "\n".join(lines)

@@ -31,6 +31,7 @@ from repro.sim.transport import (
     TraceSink,
     Transport,
     TransportStats,
+    traffic_class,
 )
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "StatsCollector",
     "Transport",
     "TransportStats",
+    "traffic_class",
     "Protocol",
     "FaultConfig",
     "MessageTrace",

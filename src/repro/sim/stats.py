@@ -98,10 +98,19 @@ class QueryStats:
 
 
 class StatsCollector:
-    """All per-query stats of a simulation run, with aggregate views."""
+    """All per-query stats of a simulation run, with aggregate views.
+
+    ``maintenance_bytes``/``maintenance_messages`` hold the stabilisation
+    (maintenance-class) traffic of the run that produced these queries —
+    filled by ``IndexPlatform.run_workload`` from the transport's per-class
+    byte counters, so summaries separate the cost of answering queries from
+    the background cost of keeping the overlay alive (Fig. 3/5).
+    """
 
     def __init__(self):
         self.queries: "dict[int, QueryStats]" = {}
+        self.maintenance_bytes: int = 0
+        self.maintenance_messages: int = 0
 
     def for_query(self, qid: int) -> QueryStats:
         """Get (or create) the accumulator for ``qid``."""
@@ -180,4 +189,6 @@ class StatsCollector:
             "index_nodes": self.mean_index_nodes(),
             "timed_out": float(self.total_timed_out()),
             "retransmissions": float(self.total_retransmissions()),
+            "maintenance_bytes": float(self.maintenance_bytes),
+            "maintenance_messages": float(self.maintenance_messages),
         }

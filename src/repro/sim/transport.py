@@ -42,6 +42,7 @@ from repro.util.rng import spawn_rngs
 __all__ = [
     "FaultConfig",
     "TransportStats",
+    "traffic_class",
     "MessageTrace",
     "TimerHandle",
     "TraceSink",
@@ -99,16 +100,41 @@ class FaultConfig:
         return bool(self.loss_rate or self.jitter or self.partitions)
 
 
+def traffic_class(kind: str) -> str:
+    """Classify a message kind into query/result/maintenance traffic.
+
+    The paper's cost comparisons (Fig. 3/5) separate the bandwidth of
+    answering queries from the background cost of keeping the overlay alive;
+    the transport applies the same split to every byte it moves.
+    """
+    if kind == "result":
+        return "result"
+    if kind.startswith("maintenance"):
+        return "maintenance"
+    return "query"
+
+
 @dataclass
 class TransportStats:
-    """Global message counters of one transport (all protocols combined)."""
+    """Global message counters of one transport (all protocols combined).
+
+    Bytes are broken down by traffic class (see :func:`traffic_class`);
+    ``bytes`` remains as the grand total for existing callers.
+    """
 
     sent: int = 0
     delivered: int = 0
     dropped_dead: int = 0
     dropped_loss: int = 0
     dropped_partition: int = 0
-    bytes: int = 0
+    query_bytes: int = 0
+    result_bytes: int = 0
+    maintenance_bytes: int = 0
+    maintenance_messages: int = 0
+
+    @property
+    def bytes(self) -> int:
+        return self.query_bytes + self.result_bytes + self.maintenance_bytes
 
     @property
     def dropped(self) -> int:
@@ -173,13 +199,25 @@ class TimerHandle:
 
 
 class TraceSink:
-    """Receives one :class:`MessageTrace` per message at its terminal state."""
+    """Receives one :class:`MessageTrace` per message at its terminal state.
+
+    Sinks are context managers: ``with JsonlTraceSink(path) as sink`` (or a
+    ``try/finally`` around :meth:`close`) guarantees the underlying file is
+    flushed and closed even when the run raises, so a crashed simulation
+    cannot leave a truncated trace file behind.
+    """
 
     def record(self, trace: MessageTrace) -> None:
         raise NotImplementedError
 
     def close(self) -> None:  # pragma: no cover - default no-op
         pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class MemoryTraceSink(TraceSink):
@@ -208,7 +246,11 @@ class MemoryTraceSink(TraceSink):
 
 
 class JsonlTraceSink(TraceSink):
-    """Streams traces as JSON lines to a path or file-like object."""
+    """Streams traces as JSON lines to a path or file-like object.
+
+    :meth:`close` flushes before closing and is safe to call twice; a
+    file-like ``target`` is flushed but left open (the caller owns it).
+    """
 
     def __init__(self, target: Any):
         if hasattr(target, "write"):
@@ -217,11 +259,16 @@ class JsonlTraceSink(TraceSink):
         else:
             self._fh = open(target, "w")
             self._owns = True
+        self._closed = False
 
     def record(self, trace: MessageTrace) -> None:
         self._fh.write(json.dumps(asdict(trace)) + "\n")
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._fh.flush()
         if self._owns:
             self._fh.close()
 
@@ -252,18 +299,47 @@ class Transport:
         latency=None,
         faults: "FaultConfig | None" = None,
         trace: "TraceSink | None" = None,
+        metrics=None,
     ):
         self.sim = sim if sim is not None else Simulator()
         self.latency = latency
         self.faults = faults if faults is not None else FaultConfig()
         self.trace = trace
         self.stats = TransportStats()
+        self.attach_metrics(metrics)
         # independent streams: toggling jitter must not re-order loss draws
         self._loss_rng, self._jitter_rng = spawn_rngs(self.faults.seed, 2)
         self._partition_of: "dict[int, int]" = {}
         for gi, group in enumerate(self.faults.partitions):
             for host in group:
                 self._partition_of[host] = gi
+
+    def attach_metrics(self, metrics) -> None:
+        """Resolve registry instruments for this transport (or disable them).
+
+        Instruments are resolved once and guarded with a single ``is not
+        None`` test per message — the per-message path is the hottest in the
+        simulator and must cost nothing when metrics are off (``None`` or a
+        ``NullRegistry`` both count as off).  Callable after construction so
+        a shared transport can adopt a platform's registry.
+        """
+        if metrics is not None and getattr(metrics, "enabled", False):
+            self._m_sent = metrics.counter(
+                "transport_sent_total", "Messages sent", ("proto",))
+            self._m_delivered = metrics.counter(
+                "transport_delivered_total", "Messages delivered", ("proto",))
+            self._m_dropped = metrics.counter(
+                "transport_dropped_total", "Messages dropped",
+                ("proto", "reason"))
+            self._m_bytes = metrics.counter(
+                "transport_bytes_total", "Payload bytes sent",
+                ("proto", "class"))
+            self._m_latency = metrics.histogram(
+                "transport_delivery_latency_seconds",
+                "Send-to-arrival delay of delivered messages")
+        else:
+            self._m_sent = self._m_delivered = None
+            self._m_dropped = self._m_bytes = self._m_latency = None
 
     # -- scheduling helpers (local, non-network) -------------------------------
 
@@ -336,8 +412,7 @@ class Transport:
             qid=qid,
             attempt=attempt,
         )
-        self.stats.sent += 1
-        self.stats.bytes += size
+        self._account_send(kind, size)
         if src is dst:
             delay = 0.0
         else:
@@ -351,6 +426,21 @@ class Transport:
         self.sim.schedule_in(delay, self._deliver, dst, handler, args, rec, on_drop)
         return True
 
+    def _account_send(self, kind: str, size: int) -> None:
+        self.stats.sent += 1
+        cls = traffic_class(kind)
+        if cls == "query":
+            self.stats.query_bytes += size
+        elif cls == "result":
+            self.stats.result_bytes += size
+        else:
+            self.stats.maintenance_bytes += size
+            self.stats.maintenance_messages += 1
+        if self._m_sent is not None:
+            proto = kind.split(":", 1)[0]
+            self._m_sent.inc((proto,))
+            self._m_bytes.add(size, (proto, cls))
+
     def _deliver(self, dst, handler, args, rec: MessageTrace, on_drop) -> None:
         if not getattr(dst, "alive", True):
             self._drop(rec, DROPPED_DEAD, on_drop)
@@ -358,6 +448,9 @@ class Transport:
         rec.arrived_at = self.sim.now
         rec.status = DELIVERED
         self.stats.delivered += 1
+        if self._m_delivered is not None:
+            self._m_delivered.inc((rec.kind.split(":", 1)[0],))
+            self._m_latency.observe(rec.arrived_at - rec.sent_at)
         if self.trace is not None:
             self.trace.record(rec)
         handler(*args)
@@ -370,6 +463,8 @@ class Transport:
             self.stats.dropped_loss += 1
         else:
             self.stats.dropped_partition += 1
+        if self._m_dropped is not None:
+            self._m_dropped.inc((rec.kind.split(":", 1)[0], status))
         if self.trace is not None:
             self.trace.record(rec)
         if on_drop is not None:
@@ -394,8 +489,7 @@ class Transport:
             sent_at=self.sim.now,
             qid=None,
         )
-        self.stats.sent += 1
-        self.stats.bytes += size
+        self._account_send(kind, size)
         if src is not dst:
             if self.partitioned(src.host, dst.host):
                 return self._drop(rec, DROPPED_PARTITION, None)
@@ -406,6 +500,9 @@ class Transport:
         rec.arrived_at = self.sim.now
         rec.status = DELIVERED
         self.stats.delivered += 1
+        if self._m_delivered is not None:
+            self._m_delivered.inc((kind.split(":", 1)[0],))
+            self._m_latency.observe(0.0)
         if self.trace is not None:
             self.trace.record(rec)
         return True
