@@ -1,0 +1,14 @@
+"""Repository-root pytest configuration.
+
+Puts ``src`` on ``sys.path`` (so the suite runs with or without
+``PYTHONPATH=src``) and registers the repro-bundle plugin: tests driving a
+``repro.check.replay.Scenario`` dump a replay bundle on failure (pytest
+requires ``pytest_plugins`` to be declared in the rootdir conftest).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+pytest_plugins = ("repro.check.pytest_plugin", "pytester")

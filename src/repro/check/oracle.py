@@ -1,0 +1,102 @@
+"""Centralized linear-scan oracle for differential testing.
+
+The distributed index answers range and k-NN queries through landmark
+projection, locality-preserving hashing, DHT routing and per-node
+refinement; the oracle answers the same queries by brute force over the
+same dataset with the same metric object.  Because the final refinement
+step of the distributed path computes *true* metric distances with the
+identical vectorised kernel (``metric.one_to_many`` over dataset rows),
+faults-off runs must agree with the oracle **exactly** — same object ids,
+bit-identical distances — and any divergence is a real bug, not noise.
+
+The oracle tracks the set of currently-indexed object ids so inserts,
+deletes and crash-induced entry loss keep it in lockstep with the index
+(see :mod:`repro.check.replay` and :mod:`repro.check.fuzz`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.core.platform import take
+
+__all__ = ["LinearScanOracle"]
+
+
+class LinearScanOracle:
+    """Brute-force reference answers over ``dataset`` with ``metric``."""
+
+    def __init__(self, dataset: Any, metric, ids: "Iterable[int] | None" = None):
+        self.dataset = dataset
+        self.metric = metric
+        n = dataset.shape[0] if hasattr(dataset, "shape") else len(dataset)
+        self.ids: "set[int]" = set(range(n)) if ids is None else set(int(i) for i in ids)
+
+    # -- membership lockstep ----------------------------------------------------
+
+    def add(self, oid: int) -> None:
+        self.ids.add(int(oid))
+
+    def remove(self, oid: int) -> None:
+        self.ids.discard(int(oid))
+
+    def restrict(self, ids: Iterable[int]) -> "set[int]":
+        """Intersect with ``ids`` (crash survivors); returns what was lost."""
+        keep = set(int(i) for i in ids)
+        lost = self.ids - keep
+        self.ids &= keep
+        return lost
+
+    # -- reference answers ---------------------------------------------------------
+
+    def _scan(self, obj: Any) -> "tuple[np.ndarray, np.ndarray]":
+        ids = np.asarray(sorted(self.ids), dtype=np.int64)
+        if ids.size == 0:
+            return ids, np.empty(0, dtype=np.float64)
+        dists = self.metric.one_to_many(obj, take(self.dataset, ids))
+        return ids, np.asarray(dists, dtype=np.float64)
+
+    def range(self, obj: Any, radius: float) -> "list[tuple[int, float]]":
+        """All indexed objects within ``radius``, sorted by (distance, id)."""
+        ids, dists = self._scan(obj)
+        keep = dists <= radius
+        out = sorted(zip(dists[keep].tolist(), ids[keep].tolist()))
+        return [(int(oid), float(d)) for d, oid in out]
+
+    def knn(self, obj: Any, k: int) -> "list[tuple[int, float]]":
+        """The ``k`` nearest indexed objects, ties broken by object id."""
+        ids, dists = self._scan(obj)
+        out = sorted(zip(dists.tolist(), ids.tolist()))[:k]
+        return [(int(oid), float(d)) for d, oid in out]
+
+    # -- differential comparison -------------------------------------------------------
+
+    def compare_range(
+        self, obj: Any, radius: float, entries
+    ) -> "dict[str, list[int]]":
+        """Diff a distributed result set against the reference answer.
+
+        ``entries`` are ``ResultEntry``-like objects (``object_id`` +
+        ``distance``).  Returns ``false_negatives`` (reference hits the
+        distributed search missed), ``false_positives`` (returned ids the
+        reference rejects) and ``distance_errors`` (ids whose reported
+        distance is not bit-identical to the reference computation).
+        """
+        expected = dict(
+            (oid, d) for oid, d in ((o, dd) for o, dd in self.range(obj, radius))
+        )
+        got: "dict[int, float]" = {}
+        for e in entries:
+            got[int(e.object_id)] = float(e.distance)
+        false_neg = sorted(set(expected) - set(got))
+        false_pos = sorted(set(got) - set(expected))
+        dist_err = sorted(
+            oid for oid in set(expected) & set(got) if expected[oid] != got[oid]
+        )
+        return {
+            "false_negatives": false_neg,
+            "false_positives": false_pos,
+            "distance_errors": dist_err,
+        }

@@ -1,0 +1,58 @@
+"""Pytest plugin: dump a replay bundle when a scenario-driven test fails.
+
+Registered from the repository-root ``conftest.py`` via ``pytest_plugins``.
+Any test that executes a :class:`repro.check.replay.Scenario` (the fuzz
+machines do this automatically) publishes it with ``attach_scenario``; if
+the test then fails, this plugin writes the scenario — by then shrunk to a
+minimal op sequence by Hypothesis — as a JSON replay bundle under
+``.repro-bundles/`` (override with the ``REPRO_BUNDLE_DIR`` environment
+variable) and names the file in the test report.  Reproduce with::
+
+    PYTHONPATH=src python -m repro.cli replay .repro-bundles/<bundle>.json
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+from repro.check import replay as _replay
+
+__all__ = ["BUNDLE_DIR_ENV", "bundle_dir"]
+
+BUNDLE_DIR_ENV = "REPRO_BUNDLE_DIR"
+_DEFAULT_DIR = ".repro-bundles"
+
+
+def bundle_dir() -> str:
+    return os.environ.get(BUNDLE_DIR_ENV, _DEFAULT_DIR)
+
+
+def _bundle_path(nodeid: str) -> str:
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", nodeid)
+    return os.path.join(bundle_dir(), f"{safe}.json")
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_makereport(item, call):
+    report = yield
+    if report.when == "call":
+        scenario = _replay.current_scenario()
+        if scenario is not None:
+            if report.failed:
+                os.makedirs(bundle_dir(), exist_ok=True)
+                path = _bundle_path(item.nodeid)
+                _replay.write_bundle(
+                    path, scenario, error=str(report.longrepr)[:4000]
+                )
+                report.sections.append(
+                    (
+                        "repro bundle",
+                        f"scenario written to {path}\n"
+                        f"reproduce with: python -m repro.cli replay {path}",
+                    )
+                )
+            _replay.clear_scenario()
+    return report

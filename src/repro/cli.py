@@ -14,6 +14,8 @@ Usage::
     python -m repro obs-demo [--out-dir DIR] [--queries N] [--loss P]
     python -m repro metrics DIR/metrics.jsonl [--prefix transport_]
     python -m repro trace QID --file DIR/spans.jsonl
+    python -m repro replay BUNDLE.json [--differential] [--timeline]
+    python -m repro fuzz [--runs N] [--ops N] [--loss P] [--out-dir DIR]
 
 The figure commands print the same tables the benchmark suite saves under
 ``benchmarks/results/``; ``--scale paper`` runs the authors' full parameters
@@ -76,6 +78,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="spans JSONL written by Observability(trace_path=...) / obs-demo")
     tr.add_argument("--max-spans", type=int, default=400)
     tr.add_argument("--out", type=str, default=None)
+
+    rp = sub.add_parser(
+        "replay",
+        help="re-execute a recorded replay log / repro bundle and verify the "
+             "run is bit-identical to the recording",
+    )
+    rp.add_argument("file", help="replay log written by record_run or the pytest plugin")
+    rp.add_argument("--differential", action="store_true",
+                    help="also diff every query against the linear-scan oracle")
+    rp.add_argument("--timeline", action="store_true", help="print the op timeline")
+
+    fz = sub.add_parser(
+        "fuzz",
+        help="run seeded differential scenarios against the linear-scan "
+             "oracle, recording a replay log per failure",
+    )
+    fz.add_argument("--runs", type=int, default=10, help="number of seeded scenarios")
+    fz.add_argument("--ops", type=int, default=20, help="operations per scenario")
+    fz.add_argument("--seed", type=int, default=0, help="base scenario seed")
+    fz.add_argument("--loss", type=float, default=0.0, help="message loss rate")
+    fz.add_argument("--jitter", type=float, default=0.0, help="mean delay jitter (s)")
+    fz.add_argument("--out-dir", default=".repro-bundles",
+                    help="where failing scenarios are written as replay logs")
 
     demo = sub.add_parser(
         "obs-demo",
@@ -206,6 +231,74 @@ def _run_trace(args) -> int:
     return 0
 
 
+def _run_replay(args) -> int:
+    from repro.eval.report import format_dict
+    from repro.check.replay import replay_file
+
+    identical, diffs, report = replay_file(args.file, differential=args.differential)
+    if args.timeline:
+        for i, line in enumerate(report.timeline):
+            print(f"  op {i}: {line}")
+        print()
+    print(format_dict(
+        {k: float(v) for k, v in report.checks.items()},
+        title="[invariant checks]",
+    ))
+    fp = report.fingerprint
+    print(f"\nevents={fp.events} schedule_digest={fp.schedule_digest:#010x} "
+          f"draws_crc={fp.draw_crc:#010x} spans={fp.span_count}")
+    if report.mismatches:
+        print("\ndifferential mismatches:")
+        for m in report.mismatches:
+            print(f"  {m}")
+    if identical:
+        print("replay OK: bit-identical to the recording")
+    else:
+        print("replay MISMATCH versus the recording:")
+        for d in diffs:
+            print(f"  {d}")
+    return 0 if identical and not report.mismatches else 1
+
+
+def _run_fuzz(args) -> int:
+    import os
+
+    from repro.check.replay import random_scenario, execute_scenario, write_bundle
+
+    failures = 0
+    for i in range(args.runs):
+        seed = args.seed + i
+        scenario = random_scenario(
+            seed, n_ops=args.ops,
+            loss=args.loss, jitter=args.jitter, fault_seed=seed,
+        )
+        try:
+            report = execute_scenario(scenario, differential=True)
+            mismatches = report.mismatches
+            error = None
+        except Exception as exc:  # invariant violations surface here
+            mismatches = [f"{type(exc).__name__}: {exc}"]
+            error = str(exc)
+            report = None
+        if mismatches:
+            failures += 1
+            os.makedirs(args.out_dir, exist_ok=True)
+            path = os.path.join(args.out_dir, f"fuzz-seed{seed}.json")
+            write_bundle(
+                path, scenario,
+                fingerprint=report.fingerprint if report else None,
+                error=error or "; ".join(mismatches),
+            )
+            print(f"seed {seed}: FAIL ({'; '.join(mismatches)[:160]})")
+            print(f"  replay log: {path}")
+        else:
+            print(f"seed {seed}: ok ({len(scenario.ops)} ops, "
+                  f"{report.fingerprint.events} events, "
+                  f"{sum(v for k, v in report.checks.items() if k != 'violations')} checks)")
+    print(f"\n{args.runs - failures}/{args.runs} scenarios clean")
+    return 0 if failures == 0 else 1
+
+
 def _run_obs_demo(args) -> None:
     from repro.eval.report import format_dict
     from repro.obs import format_hotspot_report, format_metrics_table, hotspot_report
@@ -263,6 +356,10 @@ def main(argv: "list[str] | None" = None) -> int:
         _run_metrics(args)
     elif args.command == "trace":
         return _run_trace(args)
+    elif args.command == "replay":
+        return _run_replay(args)
+    elif args.command == "fuzz":
+        return _run_fuzz(args)
     elif args.command == "obs-demo":
         _run_obs_demo(args)
     return 0

@@ -107,7 +107,15 @@ class QueryTimeout(RuntimeError):
 
 @dataclass
 class LifecycleCounters:
-    """Engine-wide event counters (all queries combined)."""
+    """Engine-wide event counters (all queries combined).
+
+    The three branch counters obey the conservation law the invariant
+    checker (:mod:`repro.check.invariants`) relies on: at any instant,
+    ``branches_opened == branches_settled + branches_discarded +
+    branches_in_flight()`` — every branch ever opened is either settled
+    (delivered or failed), discarded by a deadline firing, or still
+    outstanding.
+    """
 
     registered: int = 0
     completed: int = 0
@@ -115,6 +123,9 @@ class LifecycleCounters:
     retransmissions: int = 0
     duplicates_suppressed: int = 0
     branches_failed: int = 0
+    branches_opened: int = 0
+    branches_settled: int = 0
+    branches_discarded: int = 0
 
 
 class _Branch:
@@ -326,6 +337,7 @@ class LifecycleEngine:
         rec.next_bid += 1
         rec.branches[bid] = _Branch(bid)
         rec.outstanding += 1
+        self.counters.branches_opened += 1
         if self._m_opened is not None:
             self._m_opened.inc()
         if rec.state == ISSUED:
@@ -385,6 +397,7 @@ class LifecycleEngine:
             self.counters.branches_failed += 1
             if rec.stats is not None:
                 rec.stats.failed_branches += 1
+        self.counters.branches_settled += 1
         if self._m_settled is not None:
             self._m_settled.inc(("failed" if failed else "ok",))
         rec.outstanding -= 1
@@ -515,6 +528,7 @@ class LifecycleEngine:
             if br.timer is not None:
                 br.timer.cancel()
                 br.timer = None
+        self.counters.branches_discarded += len(rec.branches)
         rec.branches.clear()
         rec.outstanding = 0
         self._set_state(rec, TIMED_OUT)

@@ -111,6 +111,14 @@ class QueryProtocol(Protocol):
         message send/drop and result arrival is emitted as a qid-correlated
         span (see :mod:`repro.obs.spans`).  ``None`` (the default) costs one
         ``is not None`` test per step.
+    checker:
+        Optional partition-exactness observer (duck-typed; see
+        :class:`repro.check.invariants.PartitionChecker`).  Two callbacks:
+        ``on_split(q, subs)`` whenever a query is split one level deeper,
+        and ``on_refine(q, eff, local_lo, local_hi, siblings)`` whenever a
+        surrogate decomposes its claimed key range (``siblings`` is the
+        ``(prefix_key, prefix_len)`` list of forwarded sibling cuboids,
+        before rect intersection).  ``None`` costs one test per step.
     """
 
     def __init__(
@@ -127,6 +135,7 @@ class QueryProtocol(Protocol):
         transport=None,
         engine=None,
         obs=None,
+        checker=None,
     ):
         if surrogate_mode not in ("fixed", "literal"):
             raise ValueError(f"unknown surrogate_mode {surrogate_mode!r}")
@@ -142,6 +151,7 @@ class QueryProtocol(Protocol):
         self.range_filter = range_filter
         self.reply_empty = reply_empty
         self.engine = engine
+        self.checker = checker
         self.recorder = obs.recorder if obs is not None else None
         registry = obs.registry if obs is not None else None
         if registry is not None and registry.enabled:
@@ -337,8 +347,11 @@ class QueryProtocol(Protocol):
                 n2 = self._next_hop(node, subs[1].prefix_key)
                 # Same next hop for both halves: deliver unsplit (line 8-9).
                 sublist = [q] if n1 is n2 else subs
-        if len(sublist) > 1 and self._m_splits is not None:
-            self._m_splits.inc(self._proto_label)
+        if len(sublist) > 1:
+            if self._m_splits is not None:
+                self._m_splits.inc(self._proto_label)
+            if self.checker is not None:
+                self.checker.on_split(q, sublist)
         recorder = self.recorder
         sid = None
         if recorder is not None:
@@ -426,20 +439,29 @@ class QueryProtocol(Protocol):
         if not same_prefix(q.prefix_key, eff, q.prefix_len, m):
             # The node's identifier lies beyond the claimed cuboid, so its
             # ownership interval swallows the whole claimed key range.
+            if self.checker is not None:
+                self.checker.on_refine(q, eff, key_lo, key_hi, [])
             self._solve_local(node, q, hops, key_lo, key_hi)
             return
         j = first_zero_bit(eff, q.prefix_len + 1, m)
         if j is None:
             # eff is the maximal key of the cuboid: full coverage again.
+            if self.checker is not None:
+                self.checker.on_refine(q, eff, key_lo, key_hi, [])
             self._solve_local(node, q, hops, key_lo, key_hi)
             return
-        # The node owns [key_lo, eff]; answer that slice of the rectangle.
-        self._solve_local(node, q, hops, key_lo, eff)
         # Keys in (eff, key_hi] decompose into the canonical sibling cuboids
         # at each zero bit of eff — the prefixes Algorithm 5 forwards.
+        siblings: "list[tuple[int, int]]" = []
         jj: "int | None" = j
         while jj is not None:
-            sib_prefix = set_bit_at(prefix_of(eff, jj - 1, m), jj, m)
+            siblings.append((set_bit_at(prefix_of(eff, jj - 1, m), jj, m), jj))
+            jj = first_zero_bit(eff, jj + 1, m)
+        if self.checker is not None:
+            self.checker.on_refine(q, eff, key_lo, eff, siblings)
+        # The node owns [key_lo, eff]; answer that slice of the rectangle.
+        self._solve_local(node, q, hops, key_lo, eff)
+        for sib_prefix, jj in siblings:
             lows, highs = prefix_to_cuboid(sib_prefix, jj, self.index.bounds, m)
             nl = np.maximum(q.rect.lows, lows)
             nh = np.minimum(q.rect.highs, highs)
@@ -455,7 +477,6 @@ class QueryProtocol(Protocol):
                     radius=q.radius,
                 )
                 self._query_routing(node, sq, hops)
-            jj = first_zero_bit(eff, jj + 1, m)
 
     def _surrogate_refine_literal(self, node, q: RangeQuery, hops: int) -> None:
         m = self.index.m

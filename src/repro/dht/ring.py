@@ -176,6 +176,18 @@ class ChordRing:
         idx = bisect_left(self._sorted_ids, key % (1 << self.m)) - 1
         return self.nodes_by_id[self._sorted_ids[idx]]
 
+    def interval_of(self, node: ChordNode) -> "tuple[int, int]":
+        """The ownership interval ``(predecessor_id, node_id]`` of a member.
+
+        These are exactly the keys :meth:`successor_of` maps to ``node``
+        (cyclic — ``lo > hi`` means the interval wraps through zero).  Used
+        by the invariant checker to prove every key has exactly one owner.
+        """
+        if node.id not in self.nodes_by_id:
+            raise ValueError(f"node {node.id:#x} not on the ring")
+        idx = bisect_left(self._sorted_ids, node.id)
+        return self._sorted_ids[idx - 1], node.id
+
     def owners_of_keys(self, keys: np.ndarray) -> np.ndarray:
         """Vectorised ``successor_of`` for bulk index loading.
 

@@ -419,6 +419,23 @@ class StabilizationProtocol(Protocol):
                 return False
         return True
 
+    def predecessors_consistent(self) -> bool:
+        """Every live node's predecessor pointer matches the oracle ring.
+
+        Weaker than :meth:`ring_consistent` right after churn (predecessors
+        repair one ``notify`` later than successors), but both must hold at
+        convergence; the invariant checker asserts them together.
+        """
+        nodes = self.ring.nodes()
+        n = len(nodes)
+        if n <= 1:
+            return True
+        for pos, node in enumerate(nodes):
+            pred = node.predecessor
+            if pred is None or not pred.alive or pred is not nodes[(pos - 1) % n]:
+                return False
+        return True
+
     def finger_accuracy(self) -> float:
         """Fraction of finger entries matching the oracle successor of their
         target (1.0 = fully converged)."""

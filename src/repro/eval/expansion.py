@@ -34,7 +34,10 @@ def expand_query(
     # Keep original query terms and the strongest centroid terms only.
     candidate = centroid.copy()
     candidate[q > 0] = 0.0
-    if n_terms < np.count_nonzero(candidate):
+    if n_terms <= 0:
+        # no expansion terms requested: keep the original terms only
+        candidate[:] = 0.0
+    elif n_terms < np.count_nonzero(candidate):
         cutoff = np.partition(candidate, -n_terms)[-n_terms]
         candidate[candidate < cutoff] = 0.0
     keep_centroid = np.where((q > 0) | (candidate > 0), centroid, 0.0)

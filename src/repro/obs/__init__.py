@@ -58,6 +58,7 @@ from .spans import (
     SpanRecorder,
     SpanSink,
     SpanTree,
+    reconcile_with_stats,
     spans_from_query_trace,
 )
 
@@ -69,7 +70,7 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS", "DEFAULT_HOP_BUCKETS",
     # spans
     "Span", "SpanSink", "MemorySpanSink", "JsonlSpanSink",
-    "SpanRecorder", "SpanTree", "spans_from_query_trace",
+    "SpanRecorder", "SpanTree", "spans_from_query_trace", "reconcile_with_stats",
     # health
     "HealthSample", "HealthSampler",
     # load

@@ -40,6 +40,7 @@ __all__ = [
     "SpanRecorder",
     "SpanTree",
     "spans_from_query_trace",
+    "reconcile_with_stats",
 ]
 
 
@@ -380,6 +381,49 @@ class SpanTree:
         if total > len(lines):
             lines.append(f"... {total - len(lines)} more span(s)")
         return "\n".join(lines)
+
+
+def reconcile_with_stats(spans: "list[Span]", qstats) -> "list[str]":
+    """Cross-check one query's span stream against its stats counters.
+
+    The span tree and :class:`repro.sim.stats.QueryStats` are filled by
+    independent code paths, so agreement between them is evidence neither
+    lost an event.  The correspondences checked:
+
+    * ``send`` spans with ``charged=True`` — one per transmission attempt
+      that billed ``record_query_message`` — must equal ``query_messages``;
+    * ``result`` spans (local and remote arrivals) must equal
+      ``result_messages``;
+    * ``drop`` spans must equal ``dropped_messages``;
+    * ``send`` spans with ``attempt > 1`` must equal ``retransmissions``.
+
+    Returns a list of human-readable discrepancies (empty = reconciled).
+    Used by :class:`repro.check.invariants.InvariantChecker`.
+    """
+    sends = sum(1 for s in spans if s.kind == "send" and s.attrs.get("charged"))
+    results = sum(1 for s in spans if s.kind == "result")
+    drops = sum(1 for s in spans if s.kind == "drop")
+    retries = sum(
+        1 for s in spans if s.kind == "send" and s.attrs.get("attempt", 1) > 1
+    )
+    problems: "list[str]" = []
+    if sends != qstats.query_messages:
+        problems.append(
+            f"{sends} charged send spans vs query_messages={qstats.query_messages}"
+        )
+    if results != qstats.result_messages:
+        problems.append(
+            f"{results} result spans vs result_messages={qstats.result_messages}"
+        )
+    if drops != qstats.dropped_messages:
+        problems.append(
+            f"{drops} drop spans vs dropped_messages={qstats.dropped_messages}"
+        )
+    if retries != qstats.retransmissions:
+        problems.append(
+            f"{retries} retry send spans vs retransmissions={qstats.retransmissions}"
+        )
+    return problems
 
 
 def spans_from_query_trace(qtrace, recorder: "SpanRecorder | None" = None) -> "list[Span]":

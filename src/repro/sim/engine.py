@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import struct
+import zlib
 from typing import Any, Callable
 
 __all__ = ["Simulator"]
@@ -37,6 +39,17 @@ class Simulator:
         self._seq = itertools.count()
         self.now: float = 0.0
         self.events_processed: int = 0
+        #: when True, every executed event folds its ``(time, seq)`` pair
+        #: into a CRC32 running digest — a cheap fingerprint of the exact
+        #: event schedule, used by deterministic replay to prove two runs
+        #: executed bit-identically (see :mod:`repro.check.replay`).
+        self.digest_enabled: bool = False
+        self._digest: int = 0
+
+    @property
+    def schedule_digest(self) -> int:
+        """CRC32 over every executed ``(time, seq)`` pair (0 until enabled)."""
+        return self._digest
 
     def schedule_at(self, time: float, fn: Callable, *args: Any) -> None:
         """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
@@ -63,11 +76,13 @@ class Simulator:
         """
         executed = 0
         while self._queue:
-            time, _, fn, args = self._queue[0]
+            time, seq, fn, args = self._queue[0]
             if until is not None and time > until:
                 break
             heapq.heappop(self._queue)
             self.now = time
+            if self.digest_enabled:
+                self._digest = zlib.crc32(struct.pack("<dq", time, seq), self._digest)
             fn(*args)
             self.events_processed += 1
             executed += 1
@@ -81,3 +96,4 @@ class Simulator:
         self._queue.clear()
         self.now = 0.0
         self.events_processed = 0
+        self._digest = 0

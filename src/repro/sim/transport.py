@@ -309,6 +309,12 @@ class Transport:
         self.attach_metrics(metrics)
         # independent streams: toggling jitter must not re-order loss draws
         self._loss_rng, self._jitter_rng = spawn_rngs(self.faults.seed, 2)
+        #: when set (to a list), every fault-injection draw is appended as a
+        #: ``(kind, value)`` pair — ``("loss", u)`` per loss coin flip,
+        #: ``("jitter", j)`` per jitter delay.  Deterministic replay compares
+        #: the logs of two runs to prove the fault streams were consumed
+        #: identically (see :mod:`repro.check.replay`).
+        self.draw_log: "list[tuple[str, float]] | None" = None
         self._partition_of: "dict[int, int]" = {}
         for gi, group in enumerate(self.faults.partitions):
             for host in group:
@@ -418,11 +424,18 @@ class Transport:
         else:
             if self.partitioned(src.host, dst.host):
                 return self._drop(rec, DROPPED_PARTITION, on_drop)
-            if self.faults.loss_rate and self._loss_rng.random() < self.faults.loss_rate:
-                return self._drop(rec, DROPPED_LOSS, on_drop)
+            if self.faults.loss_rate:
+                u = float(self._loss_rng.random())
+                if self.draw_log is not None:
+                    self.draw_log.append(("loss", u))
+                if u < self.faults.loss_rate:
+                    return self._drop(rec, DROPPED_LOSS, on_drop)
             delay = self.delay(src.host, dst.host)
             if self.faults.jitter:
-                delay += float(self._jitter_rng.exponential(self.faults.jitter))
+                j = float(self._jitter_rng.exponential(self.faults.jitter))
+                if self.draw_log is not None:
+                    self.draw_log.append(("jitter", j))
+                delay += j
         self.sim.schedule_in(delay, self._deliver, dst, handler, args, rec, on_drop)
         return True
 
@@ -493,8 +506,12 @@ class Transport:
         if src is not dst:
             if self.partitioned(src.host, dst.host):
                 return self._drop(rec, DROPPED_PARTITION, None)
-            if self.faults.loss_rate and self._loss_rng.random() < self.faults.loss_rate:
-                return self._drop(rec, DROPPED_LOSS, None)
+            if self.faults.loss_rate:
+                u = float(self._loss_rng.random())
+                if self.draw_log is not None:
+                    self.draw_log.append(("loss", u))
+                if u < self.faults.loss_rate:
+                    return self._drop(rec, DROPPED_LOSS, None)
             if not getattr(dst, "alive", True):
                 return self._drop(rec, DROPPED_DEAD, None)
         rec.arrived_at = self.sim.now

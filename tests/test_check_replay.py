@@ -1,0 +1,153 @@
+"""Deterministic replay: fingerprints, replay logs, repro bundles."""
+
+import json
+
+import pytest
+
+from repro.check import (
+    RunFingerprint,
+    Scenario,
+    execute_scenario,
+    random_scenario,
+    record_run,
+    replay_file,
+    write_bundle,
+)
+
+
+class TestScenario:
+    def test_json_roundtrip(self):
+        sc = random_scenario(9, n_ops=7, loss=0.1, jitter=0.002)
+        assert Scenario.from_dict(json.loads(json.dumps(sc.to_dict()))) == sc
+
+    def test_random_scenario_is_seed_deterministic(self):
+        assert random_scenario(4, n_ops=15) == random_scenario(4, n_ops=15)
+        assert random_scenario(4, n_ops=15) != random_scenario(5, n_ops=15)
+
+
+class TestBitIdenticalReplay:
+    def test_faults_off_run_replays_identically(self, tmp_path):
+        sc = random_scenario(3, n_ops=10)
+        log = tmp_path / "run.json"
+        report = record_run(sc, log)
+        assert report.fingerprint.events > 0
+        assert report.fingerprint.span_count > 0
+        ok, diffs, replayed = replay_file(log)
+        assert ok, diffs
+        assert replayed.fingerprint == report.fingerprint
+
+    def test_faults_on_run_replays_identically(self, tmp_path):
+        # loss + jitter exercise both fault-injection random streams; the
+        # draw CRC proves the coin flips replayed in the same order with the
+        # same values
+        sc = random_scenario(5, n_ops=10, loss=0.08, jitter=0.004, fault_seed=2)
+        log = tmp_path / "run.json"
+        report = record_run(sc, log)
+        assert report.fingerprint.draw_crc != 0
+        assert report.fingerprint.sent >= report.fingerprint.delivered
+        ok, diffs, replayed = replay_file(log)
+        assert ok, diffs
+        assert replayed.fingerprint.draw_crc == report.fingerprint.draw_crc
+        assert replayed.fingerprint.result_digest == report.fingerprint.result_digest
+
+    def test_same_scenario_same_span_tree_and_stats(self):
+        sc = random_scenario(8, n_ops=8, loss=0.05, fault_seed=1)
+        a = execute_scenario(sc)
+        b = execute_scenario(sc)
+        assert a.fingerprint == b.fingerprint
+        assert a.timeline == b.timeline
+        assert a.checks == b.checks
+
+    def test_tampered_recording_detected(self, tmp_path):
+        sc = random_scenario(2, n_ops=6)
+        log = tmp_path / "run.json"
+        record_run(sc, log)
+        doc = json.loads(log.read_text())
+        doc["fingerprint"]["events"] += 1
+        doc["fingerprint"]["result_digest"] = "0" * 64
+        log.write_text(json.dumps(doc))
+        ok, diffs, _ = replay_file(log)
+        assert not ok
+        assert any("events" in d for d in diffs)
+        assert any("result_digest" in d for d in diffs)
+
+    def test_fingerprint_diff_names_changed_fields(self):
+        sc = random_scenario(1, n_ops=4)
+        fp = execute_scenario(sc).fingerprint
+        other = RunFingerprint.from_dict({**fp.to_dict(), "span_count": fp.span_count + 5})
+        assert fp.diff(fp) == []
+        assert fp.diff(other) == [f"span_count: {fp.span_count!r} != {other.span_count!r}"]
+
+
+class TestBundles:
+    def test_bundle_without_fingerprint_replays(self, tmp_path):
+        sc = random_scenario(6, n_ops=5)
+        path = tmp_path / "bundle.json"
+        write_bundle(path, sc, error="synthetic failure")
+        ok, diffs, report = replay_file(path)
+        assert ok and diffs == []
+        assert report.fingerprint.ops_applied == len(sc.ops)
+
+    def test_cli_replay_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        sc = random_scenario(7, n_ops=6)
+        log = tmp_path / "run.json"
+        record_run(sc, log)
+        assert main(["replay", str(log), "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+
+    def test_cli_fuzz_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["fuzz", "--runs", "2", "--ops", "5", "--seed", "30",
+                   "--out-dir", str(tmp_path)])
+        assert rc == 0
+        assert "2/2 scenarios clean" in capsys.readouterr().out
+
+
+class TestPytestPlugin:
+    def test_failing_scenario_test_dumps_replay_bundle(
+        self, pytester, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_BUNDLE_DIR", str(tmp_path / "bundles"))
+        pytester.makepyfile(
+            """
+            from repro.check import attach_scenario, random_scenario
+
+            def test_fails_with_scenario():
+                attach_scenario(random_scenario(1, n_ops=2))
+                assert False, "intentional"
+            """
+        )
+        result = pytester.runpytest_inprocess(
+            "-p", "repro.check.pytest_plugin", "-q"
+        )
+        result.assert_outcomes(failed=1)
+        bundles = list((tmp_path / "bundles").glob("*.json"))
+        assert len(bundles) == 1
+        # the bundle IS a replay log: re-executing it must work
+        ok, diffs, report = replay_file(bundles[0])
+        assert ok
+        assert report.fingerprint.ops_applied == 2
+        doc = json.loads(bundles[0].read_text())
+        assert "intentional" in doc["error"]
+
+    def test_passing_scenario_test_leaves_no_bundle(
+        self, pytester, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_BUNDLE_DIR", str(tmp_path / "bundles"))
+        pytester.makepyfile(
+            """
+            from repro.check import attach_scenario, random_scenario
+
+            def test_passes_with_scenario():
+                attach_scenario(random_scenario(1, n_ops=2))
+            """
+        )
+        result = pytester.runpytest_inprocess(
+            "-p", "repro.check.pytest_plugin", "-q"
+        )
+        result.assert_outcomes(passed=1)
+        assert not (tmp_path / "bundles").exists()

@@ -115,9 +115,9 @@ class TestSparseAngular:
         )
 
     def test_empty_row_is_max(self):
-        X = sparse.csr_matrix((2, 3))
-        X[0, 0] = 1.0
-        X = X.tocsr()
+        # build via COO: assigning into an existing CSR raises
+        # SparseEfficiencyWarning (an error under filterwarnings = error)
+        X = sparse.coo_matrix(([1.0], ([0], [0])), shape=(2, 3)).tocsr()
         m = SparseAngularMetric()
         assert m.distance(X[0], X[1]) == m.upper_bound
 
