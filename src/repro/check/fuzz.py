@@ -51,7 +51,7 @@ class DifferentialMachine(RuleBasedStateMachine):
         seed=7, n_nodes=8, n_objects=48, dim=3, k=3, m=16, replication=2,
     )
 
-    def __init__(self):
+    def __init__(self) -> None:
         super().__init__()
         self.scenario = Scenario(**self.SCENARIO)
         self.world = build_world(self.scenario, differential=True)

@@ -47,7 +47,7 @@ class InvariantViolation(AssertionError):
     ``details`` is a human-readable description of the violation.
     """
 
-    def __init__(self, name: str, details: str):
+    def __init__(self, name: str, details: str) -> None:
         super().__init__(f"invariant {name!r} violated: {details}")
         self.name = name
         self.details = details
@@ -56,11 +56,11 @@ class InvariantViolation(AssertionError):
 class _Reporter:
     """Shared strict-or-collect violation plumbing."""
 
-    def __init__(self, strict: bool = True):
+    def __init__(self, strict: bool = True) -> None:
         self.strict = strict
-        self.violations: "list[InvariantViolation]" = []
+        self.violations: list[InvariantViolation] = []
         #: passed checks per invariant name (proof the checker actually ran)
-        self.checks: "dict[str, int]" = {}
+        self.checks: dict[str, int] = {}
 
     def _passed(self, name: str) -> None:
         self.checks[name] = self.checks.get(name, 0) + 1
@@ -90,7 +90,7 @@ class PartitionChecker(_Reporter):
       must tile the claimed interval with no gap and no overlap.
     """
 
-    def __init__(self, index, strict: bool = True):
+    def __init__(self, index, strict: bool = True) -> None:
         super().__init__(strict)
         self.index = index
 
@@ -219,12 +219,12 @@ class InvariantChecker(_Reporter):
     the last membership change).
     """
 
-    def __init__(self, platform=None, ring=None, strict: bool = True):
+    def __init__(self, platform=None, ring=None, strict: bool = True) -> None:
         super().__init__(strict)
         self.platform = platform
         self.ring = ring if ring is not None else (platform.ring if platform else None)
         #: lifecycle engines whose branch conservation is checked
-        self.engines: "list[Any]" = []
+        self.engines: list[Any] = []
         self._hook_installed = False
 
     def track_engine(self, engine) -> None:
@@ -302,7 +302,7 @@ class InvariantChecker(_Reporter):
                 continue
             owners = ring.owners_of_keys(idx.rotated_keys())
             copies = min(idx.replication, n)
-            expected: "dict[int, list]" = {node.id: [] for node in nodes}
+            expected: dict[int, list] = {node.id: [] for node in nodes}
             for e, owner_pos in enumerate(owners):
                 for c in range(copies):
                     holder = nodes[(int(owner_pos) + c) % n]
@@ -348,7 +348,7 @@ class InvariantChecker(_Reporter):
 
     # -- span-tree reconciliation ---------------------------------------------------
 
-    def check_spans(self, stats, qid: "int | None" = None) -> None:
+    def check_spans(self, stats, qid: int | None = None) -> None:
         """Reconcile recorded spans against per-query stats counters.
 
         Needs the platform's observability with a memory span sink.  Checks
@@ -373,7 +373,7 @@ class InvariantChecker(_Reporter):
 
     # -- orchestration -----------------------------------------------------------------
 
-    def check_all(self, stats=None) -> "InvariantChecker":
+    def check_all(self, stats=None) -> InvariantChecker:
         self.check_ring()
         self.check_ownership()
         self.check_conservation()
@@ -394,7 +394,7 @@ class InvariantChecker(_Reporter):
         sim.schedule_in(interval, tick)
         self._hook_installed = True
 
-    def summary(self) -> "dict[str, int]":
+    def summary(self) -> dict[str, int]:
         out = dict(self.checks)
         out["violations"] = len(self.violations)
         return out

@@ -1,0 +1,51 @@
+"""`repro lint` — AST static analysis for determinism, layering, contracts.
+
+Three rule families guard what the dynamic harness (replay fingerprints,
+differential fuzzing) can only detect after the fact:
+
+* **DET1xx** (:mod:`repro.check.lint.determinism`) — wall-clock reads,
+  ambient randomness, process-salted ``hash()``, set iteration feeding
+  the event queue;
+* **ARCH2xx** (:mod:`repro.check.lint.architecture`) — the declarative
+  import-layering contract (``layers.toml``), scheduler-access
+  containment, denied edges;
+* **CON3xx** (:mod:`repro.check.lint.contracts`) — Metric subclasses
+  implement the distance interface, message dataclasses are registered
+  with the transport trace schema.
+
+Violations either get fixed or grandfathered into ``lint-baseline.json``
+with a justification; the gate is *zero unbaselined findings*.  See
+``docs/static-analysis.md`` for the rule catalogue and workflows.
+"""
+
+from repro.check.lint.baseline import Baseline, BaselineEntry
+from repro.check.lint.engine import (
+    LintContext,
+    LintResult,
+    ModuleInfo,
+    Rule,
+    all_rules,
+    apply_fixes,
+    find_repo_root,
+    run_lint,
+)
+from repro.check.lint.findings import Finding, FixEdit
+from repro.check.lint.layers import DEFAULT_LAYERS_PATH, DenyEdge, LayersConfig
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DenyEdge",
+    "DEFAULT_LAYERS_PATH",
+    "Finding",
+    "FixEdit",
+    "LayersConfig",
+    "LintContext",
+    "LintResult",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "apply_fixes",
+    "find_repo_root",
+    "run_lint",
+]

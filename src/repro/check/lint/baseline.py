@@ -1,0 +1,128 @@
+"""Baseline file: grandfathered violations with per-entry justifications.
+
+The baseline is a small JSON document checked into the repository root
+(``lint-baseline.json``).  Every entry names one existing violation the
+team has decided to keep, together with a human-readable justification —
+the lint gate stays at *zero unbaselined findings* while the debt is paid
+down incrementally.
+
+Entries match findings by fingerprint (``rule``, ``path``, ``symbol``,
+``snippet``); see :meth:`repro.check.lint.findings.Finding.fingerprint`.
+An entry that no longer matches anything is *stale* and reported as an
+error, so the baseline can only ever shrink by deleting paid-down entries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.check.lint.findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline"]
+
+_UNJUSTIFIED = "TODO: justify or fix"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered violation and why it is allowed to stay."""
+
+    rule: str
+    path: str
+    symbol: str
+    snippet: str
+    justification: str = _UNJUSTIFIED
+
+    def fingerprint(self) -> tuple[str, str, str, str]:
+        return (self.rule, self.path, self.symbol, self.snippet)
+
+
+class Baseline:
+    """An ordered set of :class:`BaselineEntry`, loaded from / saved as JSON."""
+
+    def __init__(self, entries: tuple[BaselineEntry, ...] = ()) -> None:
+        self.entries = tuple(entries)
+        self._index = {e.fingerprint(): e for e in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def match(self, finding: Finding) -> BaselineEntry | None:
+        return self._index.get(finding.fingerprint())
+
+    def stale_entries(
+        self, findings: list[Finding], scanned_paths: set[str] | None = None
+    ) -> list[BaselineEntry]:
+        """Entries that matched none of ``findings`` — paid-down debt.
+
+        An entry only goes stale when its file was actually scanned
+        (``scanned_paths``); linting a single file must not invalidate the
+        rest of the baseline.
+        """
+        seen = {f.fingerprint() for f in findings}
+        return [
+            e for e in self.entries
+            if e.fingerprint() not in seen
+            and (scanned_paths is None or e.path in scanned_paths)
+        ]
+
+    @classmethod
+    def load(cls, path: str | Path | None) -> Baseline:
+        if path is None or not Path(path).exists():
+            return cls()
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        entries = tuple(
+            BaselineEntry(
+                rule=e["rule"],
+                path=e["path"],
+                symbol=e.get("symbol", "<module>"),
+                snippet=e.get("snippet", ""),
+                justification=e.get("justification", _UNJUSTIFIED),
+            )
+            for e in doc.get("entries", ())
+        )
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding], old: Baseline | None = None) -> Baseline:
+        """Baseline covering ``findings``, keeping justifications from ``old``."""
+        entries = []
+        seen: set[tuple[str, str, str, str]] = set()
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+            fp = f.fingerprint()
+            if fp in seen:
+                continue
+            seen.add(fp)
+            kept = old.match(f) if old is not None else None
+            entries.append(
+                BaselineEntry(
+                    rule=f.rule,
+                    path=f.path,
+                    symbol=f.symbol,
+                    snippet=f.snippet,
+                    justification=kept.justification if kept else _UNJUSTIFIED,
+                )
+            )
+        return cls(tuple(entries))
+
+    def save(self, path: str | Path) -> None:
+        doc = {
+            "_comment": (
+                "Grandfathered `repro lint` violations; every entry needs a "
+                "justification. Delete entries as the debt is paid down — "
+                "stale entries fail the lint gate."
+            ),
+            "entries": [
+                {
+                    "rule": e.rule,
+                    "path": e.path,
+                    "symbol": e.symbol,
+                    "snippet": e.snippet,
+                    "justification": e.justification,
+                }
+                for e in self.entries
+            ],
+        }
+        Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")

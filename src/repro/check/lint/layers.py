@@ -1,0 +1,128 @@
+"""The declarative layering contract (``layers.toml``).
+
+The architecture rules are driven entirely by data: ``layers.toml`` names
+the layers of ``repro``, which layers each may import, explicitly denied
+import edges (finer-grained than the layer grants), and the modules allowed
+to touch the discrete-event scheduler directly.  Changing the architecture
+contract is a diff to the TOML file, not to rule code.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["DenyEdge", "LayersConfig", "DEFAULT_LAYERS_PATH"]
+
+#: the contract shipped with the package (the repo's own architecture)
+DEFAULT_LAYERS_PATH = Path(__file__).with_name("layers.toml")
+
+
+@dataclass(frozen=True)
+class DenyEdge:
+    """An explicitly forbidden import edge, with rationale and optional fix.
+
+    ``src``/``dst`` are module prefixes (``repro.core`` matches
+    ``repro.core.platform``).  ``use`` names the sanctioned module to import
+    the same symbols from — when present, ``--fix`` rewrites the import.
+    """
+
+    src: str
+    dst: str
+    why: str
+    use: str | None = None
+
+    def matches(self, importer: str, imported: str) -> bool:
+        return _has_prefix(importer, self.src) and _has_prefix(imported, self.dst)
+
+
+def _has_prefix(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
+
+
+@dataclass
+class LayersConfig:
+    """Parsed layering contract.
+
+    ``layers`` maps layer name -> tuple of layer names it may import
+    (its own layer is always implicitly allowed).  ``module_layers`` pins
+    specific modules (e.g. ``repro.cli``) to a layer; otherwise a module's
+    layer is its first package component under the root package.
+    """
+
+    package: str = "repro"
+    layers: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    module_layers: dict[str, str] = field(default_factory=dict)
+    default_layer: str = "app"
+    deny: tuple[DenyEdge, ...] = ()
+    scheduler_allowed: tuple[str, ...] = ()
+
+    @classmethod
+    def load(cls, path: str | Path | None = None) -> LayersConfig:
+        p = Path(path) if path is not None else DEFAULT_LAYERS_PATH
+        with open(p, "rb") as fh:
+            doc = tomllib.load(fh)
+        layers = {name: tuple(allowed) for name, allowed in doc.get("layers", {}).items()}
+        deny = tuple(
+            DenyEdge(
+                src=e["from"],
+                dst=e["to"],
+                why=e.get("why", "forbidden import edge"),
+                use=e.get("use"),
+            )
+            for e in doc.get("deny", ())
+        )
+        cfg = cls(
+            package=doc.get("package", "repro"),
+            layers=layers,
+            module_layers=dict(doc.get("modules", {})),
+            default_layer=doc.get("default-layer", "app"),
+            deny=deny,
+            scheduler_allowed=tuple(doc.get("scheduler", {}).get("allowed", ())),
+        )
+        cfg.validate()
+        return cfg
+
+    def validate(self) -> None:
+        for name, allowed in self.layers.items():
+            for dep in allowed:
+                if dep not in self.layers:
+                    raise ValueError(f"layer {name!r} allows unknown layer {dep!r}")
+        for module, layer in self.module_layers.items():
+            if layer not in self.layers:
+                raise ValueError(f"module {module!r} pinned to unknown layer {layer!r}")
+        if self.default_layer not in self.layers:
+            raise ValueError(f"default layer {self.default_layer!r} is not declared")
+
+    def layer_of(self, module: str) -> str | None:
+        """The layer of a dotted module name, ``None`` outside the package."""
+        if not _has_prefix(module, self.package):
+            return None
+        if module in self.module_layers:
+            return self.module_layers[module]
+        rest = module[len(self.package) :].lstrip(".")
+        if not rest:
+            return self.module_layers.get(self.package, self.default_layer)
+        head = rest.split(".", 1)[0]
+        return head if head in self.layers else self.default_layer
+
+    def allowed(self, importer: str, imported: str) -> bool:
+        """Whether the layer contract permits ``importer`` -> ``imported``."""
+        src_layer = self.layer_of(importer)
+        dst_layer = self.layer_of(imported)
+        if src_layer is None or dst_layer is None:
+            return True  # edges outside the package are not ours to police
+        if src_layer == dst_layer:
+            return True
+        return dst_layer in self.layers.get(src_layer, ())
+
+    def denied(self, importer: str, imported: str) -> DenyEdge | None:
+        """The deny entry forbidding this edge, if any (checked before layers)."""
+        for edge in self.deny:
+            if edge.matches(importer, imported):
+                return edge
+        return None
+
+    def scheduler_ok(self, module: str) -> bool:
+        return any(_has_prefix(module, allowed) for allowed in self.scheduler_allowed)

@@ -16,7 +16,8 @@ deletes and crash-induced entry loss keep it in lockstep with the index
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from collections.abc import Iterable
+from typing import Any
 
 import numpy as np
 
@@ -28,11 +29,11 @@ __all__ = ["LinearScanOracle"]
 class LinearScanOracle:
     """Brute-force reference answers over ``dataset`` with ``metric``."""
 
-    def __init__(self, dataset: Any, metric, ids: "Iterable[int] | None" = None):
+    def __init__(self, dataset: Any, metric, ids: Iterable[int] | None = None) -> None:
         self.dataset = dataset
         self.metric = metric
         n = dataset.shape[0] if hasattr(dataset, "shape") else len(dataset)
-        self.ids: "set[int]" = set(range(n)) if ids is None else set(int(i) for i in ids)
+        self.ids: set[int] = set(range(n)) if ids is None else set(int(i) for i in ids)
 
     # -- membership lockstep ----------------------------------------------------
 
@@ -42,7 +43,7 @@ class LinearScanOracle:
     def remove(self, oid: int) -> None:
         self.ids.discard(int(oid))
 
-    def restrict(self, ids: Iterable[int]) -> "set[int]":
+    def restrict(self, ids: Iterable[int]) -> set[int]:
         """Intersect with ``ids`` (crash survivors); returns what was lost."""
         keep = set(int(i) for i in ids)
         lost = self.ids - keep
@@ -51,21 +52,21 @@ class LinearScanOracle:
 
     # -- reference answers ---------------------------------------------------------
 
-    def _scan(self, obj: Any) -> "tuple[np.ndarray, np.ndarray]":
+    def _scan(self, obj: Any) -> tuple[np.ndarray, np.ndarray]:
         ids = np.asarray(sorted(self.ids), dtype=np.int64)
         if ids.size == 0:
             return ids, np.empty(0, dtype=np.float64)
         dists = self.metric.one_to_many(obj, take(self.dataset, ids))
         return ids, np.asarray(dists, dtype=np.float64)
 
-    def range(self, obj: Any, radius: float) -> "list[tuple[int, float]]":
+    def range(self, obj: Any, radius: float) -> list[tuple[int, float]]:
         """All indexed objects within ``radius``, sorted by (distance, id)."""
         ids, dists = self._scan(obj)
         keep = dists <= radius
         out = sorted(zip(dists[keep].tolist(), ids[keep].tolist()))
         return [(int(oid), float(d)) for d, oid in out]
 
-    def knn(self, obj: Any, k: int) -> "list[tuple[int, float]]":
+    def knn(self, obj: Any, k: int) -> list[tuple[int, float]]:
         """The ``k`` nearest indexed objects, ties broken by object id."""
         ids, dists = self._scan(obj)
         out = sorted(zip(dists.tolist(), ids.tolist()))[:k]
@@ -75,7 +76,7 @@ class LinearScanOracle:
 
     def compare_range(
         self, obj: Any, radius: float, entries
-    ) -> "dict[str, list[int]]":
+    ) -> dict[str, list[int]]:
         """Diff a distributed result set against the reference answer.
 
         ``entries`` are ``ResultEntry``-like objects (``object_id`` +
@@ -87,7 +88,7 @@ class LinearScanOracle:
         expected = dict(
             (oid, d) for oid, d in ((o, dd) for o, dd in self.range(obj, radius))
         )
-        got: "dict[int, float]" = {}
+        got: dict[int, float] = {}
         for e in entries:
             got[int(e.object_id)] = float(e.distance)
         false_neg = sorted(set(expected) - set(got))

@@ -86,7 +86,7 @@ class Scenario:
     latency: float = 0.01
     selection: str = "greedy"
     #: operation list; each op is a JSON-able list ``[kind, *int_args]``
-    ops: "list[list]" = field(default_factory=list)
+    ops: list[list] = field(default_factory=list)
 
     @property
     def faults_active(self) -> bool:
@@ -96,7 +96,7 @@ class Scenario:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, d: dict) -> "Scenario":
+    def from_dict(cls, d: dict) -> Scenario:
         return cls(**d)
 
 
@@ -119,10 +119,10 @@ class RunFingerprint:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, d: dict) -> "RunFingerprint":
+    def from_dict(cls, d: dict) -> RunFingerprint:
         return cls(**d)
 
-    def diff(self, other: "RunFingerprint") -> "list[str]":
+    def diff(self, other: RunFingerprint) -> list[str]:
         """Human-readable field mismatches (empty = identical runs)."""
         out = []
         for name, mine in asdict(self).items():
@@ -139,11 +139,11 @@ class RunReport:
     scenario: Scenario
     fingerprint: RunFingerprint
     #: one summary string per applied op (human-readable timeline)
-    timeline: "list[str]"
+    timeline: list[str]
     #: differential mismatches (empty unless differential=True found any)
-    mismatches: "list[str]"
+    mismatches: list[str]
     #: invariant checks passed, by name
-    checks: "dict[str, int]"
+    checks: dict[str, int]
 
     @property
     def ok(self) -> bool:
@@ -153,7 +153,7 @@ class RunReport:
 class World:
     """A live platform under test plus its checking apparatus."""
 
-    def __init__(self, scenario: Scenario, differential: bool = False):
+    def __init__(self, scenario: Scenario, differential: bool = False) -> None:
         sc = scenario
         self.scenario = sc
         self.name = "fuzz"
@@ -192,8 +192,8 @@ class World:
             LinearScanOracle(self.data, self.metric) if differential else None
         )
         self.hasher = hashlib.sha256()
-        self.mismatches: "list[str]" = []
-        self.timeline: "list[str]" = []
+        self.mismatches: list[str] = []
+        self.timeline: list[str] = []
 
     # -- op helpers -------------------------------------------------------------
 
@@ -209,7 +209,7 @@ class World:
         lo, hi = BOX
         return np.random.default_rng(qseed).uniform(lo, hi, size=self.scenario.dim)
 
-    def _indexed_ids(self) -> "list[int]":
+    def _indexed_ids(self) -> list[int]:
         return sorted(int(i) for i in self.index._object_ids)
 
     # -- fingerprinting ---------------------------------------------------------
@@ -239,7 +239,7 @@ def build_world(scenario: Scenario, differential: bool = False) -> World:
     return World(scenario, differential=differential)
 
 
-def apply_op(world: World, op: "list") -> str:
+def apply_op(world: World, op: list) -> str:
     """Execute one scenario operation; returns its timeline summary.
 
     Invalid operations (deleting an unindexed object, crashing below the
@@ -445,16 +445,16 @@ def random_scenario(seed: int, n_ops: int = 20, **overrides: Any) -> Scenario:
 # Process-global is correct here: tests run single-threaded and the value
 # only matters between a failure and its report hook.
 
-_current_scenario: "Scenario | None" = None
+_current_scenario: Scenario | None = None
 
 
-def attach_scenario(scenario: "Scenario | None") -> None:
+def attach_scenario(scenario: Scenario | None) -> None:
     """Publish the scenario now executing (bundle-dumped if the test fails)."""
     global _current_scenario
     _current_scenario = scenario
 
 
-def current_scenario() -> "Scenario | None":
+def current_scenario() -> Scenario | None:
     return _current_scenario
 
 
@@ -467,11 +467,11 @@ def clear_scenario() -> None:
 
 def write_bundle(
     path, scenario: Scenario,
-    fingerprint: "RunFingerprint | None" = None,
-    error: "str | None" = None,
+    fingerprint: RunFingerprint | None = None,
+    error: str | None = None,
 ) -> None:
     """Write a replay log (= repro bundle) as one JSON document."""
-    doc: "dict[str, Any]" = {"scenario": scenario.to_dict()}
+    doc: dict[str, Any] = {"scenario": scenario.to_dict()}
     if fingerprint is not None:
         doc["fingerprint"] = fingerprint.to_dict()
     if error is not None:
@@ -488,7 +488,7 @@ def record_run(scenario: Scenario, path, differential: bool = False) -> RunRepor
     return report
 
 
-def replay_file(path, differential: bool = False) -> "tuple[bool, list[str], RunReport]":
+def replay_file(path, differential: bool = False) -> tuple[bool, list[str], RunReport]:
     """Re-execute a replay log; returns ``(identical, diffs, report)``.
 
     ``identical`` is True when the re-run's fingerprint matches the recorded

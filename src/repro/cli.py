@@ -102,6 +102,35 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--out-dir", default=".repro-bundles",
                     help="where failing scenarios are written as replay logs")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism/architecture/contract static analysis "
+             "(AST rules DET1xx/ARCH2xx/CON3xx; see docs/static-analysis.md)",
+    )
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories to lint (default: src/)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline file (default: lint-baseline.json at the repo root)")
+    lint.add_argument("--layers", default=None,
+                      help="layering contract (default: the packaged layers.toml)")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--fix", action="store_true",
+                      help="apply mechanical fixes (seeding, facade import moves)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline to cover current findings "
+                           "(keeps existing justifications)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+
+    tc = sub.add_parser(
+        "typecheck",
+        help="run mypy --strict on the gated packages (repro.core, "
+             "repro.dht, repro.util)",
+    )
+    tc.add_argument("--format", choices=("text", "json"), default="text")
+
     demo = sub.add_parser(
         "obs-demo",
         help="run a small fault-injected workload with full observability on, "
@@ -131,7 +160,7 @@ def _overrides(args) -> dict:
     return out
 
 
-def _emit(text: str, out_path: "str | None") -> None:
+def _emit(text: str, out_path: str | None) -> None:
     print(text)
     if out_path:
         with open(out_path, "w", encoding="utf-8") as fh:
@@ -209,7 +238,7 @@ def _run_trace(args) -> int:
     from repro.obs.spans import SpanTree
 
     if args.qid is None:
-        counts: "dict[int, int]" = {}
+        counts: dict[int, int] = {}
         with open(args.file) as fh:
             for line in fh:
                 if not line.strip():
@@ -299,10 +328,116 @@ def _run_fuzz(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def _run_lint(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.check.lint import (
+        Baseline,
+        LayersConfig,
+        all_rules,
+        apply_fixes,
+        find_repo_root,
+        run_lint,
+    )
+
+    if args.list_rules:
+        for r in all_rules():
+            print(f"{r.id}  {r.name}\n    {r.rationale}")
+        return 0
+
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    if paths is None:
+        root = find_repo_root(Path.cwd())
+        paths = [root / "src"] if (root / "src").is_dir() else [root]
+    root = find_repo_root(paths[0])
+    baseline_path = Path(args.baseline) if args.baseline else root / "lint-baseline.json"
+    layers = LayersConfig.load(args.layers) if args.layers else LayersConfig.load()
+    select = args.select.split(",") if args.select else None
+    baseline = Baseline.load(baseline_path)
+    result = run_lint(paths, root=root, layers=layers, baseline=baseline, select=select)
+
+    if args.fix:
+        applied = apply_fixes(result.findings, root)
+        if applied:
+            print(f"applied {applied} mechanical fix(es); re-linting")
+            result = run_lint(paths, root=root, layers=layers,
+                              baseline=baseline, select=select)
+
+    if args.update_baseline:
+        new = Baseline.from_findings(result.findings + result.baselined, old=baseline)
+        new.save(baseline_path)
+        print(f"baseline updated: {len(new)} entrie(s) -> {baseline_path}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps({
+            "files_scanned": result.files_scanned,
+            "findings": [f.to_json() for f in result.findings],
+            "baselined": [f.to_json() for f in result.baselined],
+            "stale_baseline_entries": [
+                {"rule": e.rule, "path": e.path, "symbol": e.symbol,
+                 "justification": e.justification}
+                for e in result.stale
+            ],
+            "errors": result.errors,
+            "ok": result.ok,
+        }, indent=2))
+        return 0 if result.ok else 1
+
+    for f in result.findings:
+        print(f.render())
+    for e in result.stale:
+        print(f"stale baseline entry: {e.rule} {e.path} [{e.symbol}] — "
+              "violation is gone, delete the entry")
+    for err in result.errors:
+        print(f"parse error: {err}")
+    n, b = len(result.findings), len(result.baselined)
+    print(f"{result.files_scanned} files: {n} finding(s), {b} baselined, "
+          f"{len(result.stale)} stale baseline entrie(s)")
+    return 0 if result.ok else 1
+
+
+#: packages under the strict typing gate (mypy --strict must pass)
+TYPECHECK_PACKAGES = ("repro.core", "repro.dht", "repro.util")
+
+
+def _run_typecheck(args) -> int:
+    import importlib.util
+    import json
+    import subprocess
+
+    cmd = [sys.executable, "-m", "mypy", "--strict"]
+    for p in TYPECHECK_PACKAGES:
+        cmd += ["-p", p]
+    if importlib.util.find_spec("mypy") is None:
+        msg = ("mypy is not installed in this environment; "
+               "`pip install mypy` (the CI typecheck job runs it)")
+        if args.format == "json":
+            print(json.dumps({"tool": "mypy", "available": False, "note": msg}))
+        else:
+            print(f"typecheck skipped: {msg}")
+        return 2
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if args.format == "json":
+        print(json.dumps({
+            "tool": "mypy",
+            "available": True,
+            "packages": list(TYPECHECK_PACKAGES),
+            "returncode": proc.returncode,
+            "output": proc.stdout.splitlines(),
+        }, indent=2))
+    else:
+        print(proc.stdout, end="")
+        if proc.stderr:
+            print(proc.stderr, end="", file=sys.stderr)
+    return proc.returncode
+
+
 def _run_obs_demo(args) -> None:
     from repro.eval.report import format_dict
+    from repro.eval.demo import run_demo
     from repro.obs import format_hotspot_report, format_metrics_table, hotspot_report
-    from repro.obs.demo import run_demo
 
     result = run_demo(
         args.out_dir, n_nodes=args.nodes, n_objects=args.objects,
@@ -331,7 +466,7 @@ def _run_obs_demo(args) -> None:
               f"repro trace <qid> --file {result['paths']['spans']}")
 
 
-def main(argv: "list[str] | None" = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     """Entry point (``python -m repro ...``)."""
     args = build_parser().parse_args(argv)
     if args.command in ("fig2", "fig3", "fig4", "fig5", "fig6"):
@@ -352,6 +487,10 @@ def main(argv: "list[str] | None" = None) -> int:
         result = self_check(seed=args.seed)
         print(result)
         return 0 if result.ok else 1
+    elif args.command == "lint":
+        return _run_lint(args)
+    elif args.command == "typecheck":
+        return _run_typecheck(args)
     elif args.command == "metrics":
         _run_metrics(args)
     elif args.command == "trace":

@@ -36,7 +36,7 @@ class IndexSpaceBounds:
     lows: np.ndarray
     highs: np.ndarray
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "lows", np.asarray(self.lows, dtype=np.float64))
         object.__setattr__(self, "highs", np.asarray(self.highs, dtype=np.float64))
         if self.lows.shape != self.highs.shape or self.lows.ndim != 1:
@@ -50,12 +50,12 @@ class IndexSpaceBounds:
         return len(self.lows)
 
     @classmethod
-    def uniform(cls, k: int, low: float, high: float) -> "IndexSpaceBounds":
+    def uniform(cls, k: int, low: float, high: float) -> IndexSpaceBounds:
         """Same ``[low, high]`` bound on all ``k`` dimensions."""
         return cls(np.full(k, float(low)), np.full(k, float(high)))
 
     @classmethod
-    def from_metric(cls, k: int, metric) -> "IndexSpaceBounds":
+    def from_metric(cls, k: int, metric: Any) -> IndexSpaceBounds:
         """Boundary strategy 1: derive from a bounded metric."""
         if not metric.is_bounded:
             raise ValueError(
@@ -65,7 +65,7 @@ class IndexSpaceBounds:
         return cls.uniform(k, 0.0, metric.upper_bound)
 
     @classmethod
-    def from_sample(cls, index_points: np.ndarray, pad: float = 0.0) -> "IndexSpaceBounds":
+    def from_sample(cls, index_points: np.ndarray, pad: float = 0.0) -> IndexSpaceBounds:
         """Boundary strategy 2: min/max of the projected selection sample.
 
         ``pad`` expands the box by a relative margin on each side (useful to
@@ -106,7 +106,7 @@ class IndexSpace:
     onto the Chord ring is :mod:`repro.core.lph`.
     """
 
-    def __init__(self, landmark_set: LandmarkSet, bounds: IndexSpaceBounds):
+    def __init__(self, landmark_set: LandmarkSet, bounds: IndexSpaceBounds) -> None:
         if bounds.k != landmark_set.k:
             raise ValueError(
                 f"bounds dimensionality {bounds.k} != number of landmarks {landmark_set.k}"
@@ -126,7 +126,7 @@ class IndexSpace:
         boundary: str = "metric",
         sample: Any = None,
         pad: float = 0.0,
-    ) -> "IndexSpace":
+    ) -> IndexSpace:
         """Construct with one of the paper's two boundary strategies.
 
         ``boundary="metric"`` requires a bounded metric; ``boundary="sample"``

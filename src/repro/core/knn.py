@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from typing import Any
 
 from repro.core.lifecycle import RetryPolicy
 from repro.sim.stats import StatsCollector
@@ -44,16 +45,16 @@ class KnnResult:
 
 
 def knn_search(
-    platform,
+    platform: Any,
     name: str,
-    obj,
+    obj: Any,
     k: int = 10,
-    initial_radius: "float | None" = None,
+    initial_radius: float | None = None,
     growth: float = 2.0,
     max_rounds: int = 12,
-    source_node=None,
-    policy: "RetryPolicy | None" = None,
-    **protocol_kwargs,
+    source_node: Any = None,
+    policy: RetryPolicy | None = None,
+    **protocol_kwargs: Any,
 ) -> KnnResult:
     """Find the ``k`` nearest indexed objects to ``obj``.
 
@@ -81,7 +82,7 @@ def knn_search(
     total_qbytes = 0
     total_rbytes = 0
     nodes_touched: set = set()
-    best: "dict[int, float]" = {}
+    best: dict[int, float] = {}
     rounds = 0
     exact = False
     for rounds in range(1, max_rounds + 1):

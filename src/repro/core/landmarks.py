@@ -61,7 +61,7 @@ class LandmarkSet:
             return int(self.landmarks.shape[0])
         return len(self.landmarks)
 
-    def _landmark(self, i: int):
+    def _landmark(self, i: int) -> Any:
         return self.landmarks[i]
 
     def project(self, objects: Any) -> np.ndarray:
@@ -92,7 +92,7 @@ class LandmarkSet:
         return self.project(batch)[0]
 
 
-def _take(sample: Any, idx) -> Any:
+def _take(sample: Any, idx: Any) -> Any:
     """Index a domain sample that may be an array, CSR matrix or list."""
     if sparse.issparse(sample) or isinstance(sample, np.ndarray):
         return sample[idx]
@@ -105,7 +105,7 @@ def greedy_selection(
     sample: Any,
     metric: Metric,
     k: int,
-    seed: "int | np.random.Generator | None" = 0,
+    seed: int | np.random.Generator | None = 0,
 ) -> LandmarkSet:
     """Algorithm 1 (GreedySelection): max-min farthest-point traversal.
 
@@ -231,7 +231,7 @@ def kmeans_selection(
     sample: Any,
     metric: Metric,
     k: int,
-    seed: "int | np.random.Generator | None" = 0,
+    seed: int | np.random.Generator | None = 0,
     iters: int = 25,
 ) -> LandmarkSet:
     """K-means clustering selection: landmarks are cluster *centroids*.
@@ -263,7 +263,7 @@ def kmedoids_selection(
     sample: Any,
     metric: Metric,
     k: int,
-    seed: "int | np.random.Generator | None" = 0,
+    seed: int | np.random.Generator | None = 0,
     iters: int = 10,
 ) -> LandmarkSet:
     """K-medoids (PAM-style) selection for black-box metric domains.
@@ -318,7 +318,7 @@ def select_landmarks(
     sample: Any,
     metric: Metric,
     k: int,
-    seed: "int | np.random.Generator | None" = 0,
+    seed: int | np.random.Generator | None = 0,
 ) -> LandmarkSet:
     """Dispatch to a selection scheme by name (``greedy``/``kmeans``/``kmedoids``)."""
     try:

@@ -38,8 +38,9 @@ The engine is deliberately protocol-agnostic: `QueryProtocol`,
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any
 
 __all__ = [
     "ISSUED",
@@ -85,12 +86,12 @@ class RetryPolicy:
         Exponential backoff factor (>= 1) applied per attempt.
     """
 
-    deadline: "float | None" = None
+    deadline: float | None = None
     max_retries: int = 0
     rto: float = 1.0
     backoff: float = 2.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError(f"deadline must be positive, got {self.deadline}")
         if self.max_retries < 0:
@@ -133,11 +134,11 @@ class _Branch:
 
     __slots__ = ("bid", "attempts", "timer", "send")
 
-    def __init__(self, bid: int):
+    def __init__(self, bid: int) -> None:
         self.bid = bid
         self.attempts = 0
         self.timer = None  # TimerHandle of the pending RTO, if any
-        self.send: "Callable[[int], None] | None" = None
+        self.send: Callable[[int], None] | None = None
 
 
 class _Record:
@@ -148,18 +149,18 @@ class _Record:
         "best", "stats", "deadline_timer", "callbacks", "future",
     )
 
-    def __init__(self, qid: int):
+    def __init__(self, qid: int) -> None:
         self.qid = qid
         self.state = ISSUED
         self.outstanding = 0
-        self.branches: "dict[int, _Branch]" = {}
-        self.seen: "set[int]" = set()   # branch ids accepted at a receiver
+        self.branches: dict[int, _Branch] = {}
+        self.seen: set[int] = set()   # branch ids accepted at a receiver
         self.next_bid = 0
-        self.best: "dict[int, float]" = {}  # object id -> best distance
+        self.best: dict[int, float] = {}  # object id -> best distance
         self.stats = None               # optional QueryStats mirror
         self.deadline_timer = None
-        self.callbacks: "list[Callable]" = []
-        self.future: "QueryFuture | None" = None
+        self.callbacks: list[Callable[["QueryFuture"], None]] = []
+        self.future: QueryFuture | None = None
 
     @property
     def terminal(self) -> bool:
@@ -175,7 +176,7 @@ class QueryFuture:
 
     __slots__ = ("qid", "engine", "_rec")
 
-    def __init__(self, qid: int, engine: "LifecycleEngine", rec: _Record):
+    def __init__(self, qid: int, engine: LifecycleEngine, rec: _Record) -> None:
         self.qid = qid
         self.engine = engine
         self._rec = rec
@@ -206,7 +207,7 @@ class QueryFuture:
         merged.sort(key=lambda e: (e.distance, e.object_id))
         return merged
 
-    def result(self, top_k: "int | None" = None) -> list:
+    def result(self, top_k: int | None = None) -> list:
         """The merged entries of a *completed* query.
 
         Raises :class:`QueryTimeout` when the query timed out (use
@@ -226,7 +227,7 @@ class QueryFuture:
         out = self.entries()
         return out if top_k is None else out[:top_k]
 
-    def add_done_callback(self, fn: Callable) -> None:
+    def add_done_callback(self, fn: Callable[["QueryFuture"], None]) -> None:
         """Call ``fn(future)`` once the query reaches a terminal state (or
         immediately if it already has)."""
         if self._rec.terminal:
@@ -245,14 +246,14 @@ class LifecycleEngine:
 
     def __init__(
         self,
-        transport,
-        policy: "RetryPolicy | None" = None,
-        metrics=None,
-        recorder=None,
-    ):
+        transport: Any,
+        policy: RetryPolicy | None = None,
+        metrics: Any = None,
+        recorder: Any = None,
+    ) -> None:
         self.transport = transport
         self.policy = policy if policy is not None else RetryPolicy()
-        self.records: "dict[int, _Record]" = {}
+        self.records: dict[int, _Record] = {}
         self.counters = LifecycleCounters()
         #: optional SpanRecorder — retransmission/deadline events become
         #: spans, and query root spans are finished here (the engine is the
@@ -289,9 +290,9 @@ class LifecycleEngine:
     def register(
         self,
         qid: int,
-        stats=None,
-        issued_at: "float | None" = None,
-        on_complete: "Callable | None" = None,
+        stats: Any = None,
+        issued_at: float | None = None,
+        on_complete: Callable[["QueryFuture"], None] | None = None,
     ) -> QueryFuture:
         """Start tracking ``qid``; returns its future.
 
@@ -322,13 +323,13 @@ class LifecycleEngine:
         rec = self.records.get(qid)
         return rec is not None and not rec.terminal
 
-    def future(self, qid: int) -> "QueryFuture | None":
+    def future(self, qid: int) -> QueryFuture | None:
         rec = self.records.get(qid)
         return rec.future if rec is not None else None
 
     # -- branch accounting ------------------------------------------------------
 
-    def open(self, qid: int) -> "int | None":
+    def open(self, qid: int) -> int | None:
         """Open a branch; returns its id (None for untracked/finished qids)."""
         rec = self.records.get(qid)
         if rec is None or rec.terminal:
@@ -344,7 +345,7 @@ class LifecycleEngine:
             self._set_state(rec, ROUTING)
         return bid
 
-    def arm(self, qid: int, bid: int, send: "Callable[[int], None]") -> None:
+    def arm(self, qid: int, bid: int, send: Callable[[int], None]) -> None:
         """Attach the send thunk of a message branch and transmit attempt 1.
 
         ``send(attempt)`` must perform the actual transport send; the engine
@@ -380,7 +381,7 @@ class LifecycleEngine:
         rec.seen.add(bid)
         return True
 
-    def settle(self, qid: int, bid: "int | None", failed: bool = False) -> None:
+    def settle(self, qid: int, bid: int | None, failed: bool = False) -> None:
         """Close a branch; the query completes when none remain outstanding."""
         if bid is None:
             return
@@ -404,7 +405,7 @@ class LifecycleEngine:
         if rec.outstanding <= 0:
             self._complete(rec)
 
-    def notify_drop(self, qid: int, bid: "int | None") -> None:
+    def notify_drop(self, qid: int, bid: int | None) -> None:
         """Transport drop notification: retry after backoff or fail the branch."""
         if bid is None:
             return
@@ -431,7 +432,7 @@ class LifecycleEngine:
         if rec is not None and rec.state in (ISSUED, ROUTING):
             self._set_state(rec, RESOLVING)
 
-    def add_entries(self, qid: int, entries) -> None:
+    def add_entries(self, qid: int, entries: Iterable[Any]) -> None:
         """Merge result entries into the query's best-per-object-id set."""
         rec = self.records.get(qid)
         if rec is None:
@@ -444,7 +445,7 @@ class LifecycleEngine:
 
     # -- driving the simulator --------------------------------------------------
 
-    def run_until_complete(self, futures) -> bool:
+    def run_until_complete(self, futures: Iterable[Any]) -> bool:
         """Run the simulator until every future is terminal.
 
         Unlike running to quiescence this leaves unrelated events (other
@@ -457,7 +458,7 @@ class LifecycleEngine:
         pending = [f for f in futures if f is not None and not f.done()]
         remaining = [len(pending)]
 
-        def _one_done(_fut):
+        def _one_done(_fut: Any) -> None:
             remaining[0] -= 1
 
         for f in pending:

@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from typing import Any
+
 from repro.util.rng import as_rng
 
 __all__ = ["LoadBalanceReport", "probe_neighbourhood", "dynamic_load_migration", "hotspot_overlap"]
@@ -45,10 +47,10 @@ class LoadBalanceReport:
     final_max_load: int = 0
     initial_imbalance: float = 0.0
     final_imbalance: float = 0.0
-    history: "list[int]" = field(default_factory=list)
+    history: list[int] = field(default_factory=list)
 
 
-def probe_neighbourhood(node, level: int) -> "list":
+def probe_neighbourhood(node: Any, level: int) -> list[Any]:
     """Nodes reachable within ``level`` routing-table hops (excluding ``node``).
 
     Level 1 is the node's own routing table (fingers + successor list);
@@ -76,7 +78,7 @@ def _imbalance(loads: np.ndarray) -> float:
     return float(loads.max() / mean) if mean > 0 else 0.0
 
 
-def _split_point(platform, node) -> "int | None":
+def _split_point(platform: Any, node: Any) -> int | None:
     """The identifier halving ``node``'s load: the median ring key it stores.
 
     A light node rejoining at this identifier takes over the lower half of
@@ -103,11 +105,11 @@ def _split_point(platform, node) -> "int | None":
 
 
 def dynamic_load_migration(
-    platform,
+    platform: Any,
     delta: float = 0.0,
     probe_level: int = 4,
     max_rounds: int = 40,
-    seed: "int | np.random.Generator | None" = 0,
+    seed: int | np.random.Generator | None = 0,
     min_load: int = 4,
 ) -> LoadBalanceReport:
     """Run dynamic load migration until convergence (paper §3.4).
@@ -169,7 +171,7 @@ def dynamic_load_migration(
     return report
 
 
-def hotspot_overlap(platform, top_fraction: float = 0.05) -> float:
+def hotspot_overlap(platform: Any, top_fraction: float = 0.05) -> float:
     """How much the hottest nodes of different indexes coincide.
 
     For each index, take the ``top_fraction`` most loaded nodes; return the

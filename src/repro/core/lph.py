@@ -93,7 +93,7 @@ def dimension_range(
     dim: int,
     bounds: IndexSpaceBounds,
     m: int,
-) -> "tuple[float, float]":
+) -> tuple[float, float]:
     """Range of dimension ``dim`` of the cuboid spelled by bits ``1..upto``.
 
     Replays the divisions that hit ``dim`` among the first ``upto`` bits of
@@ -120,7 +120,7 @@ def prefix_to_cuboid(
     prefix_len: int,
     bounds: IndexSpaceBounds,
     m: int,
-) -> "tuple[np.ndarray, np.ndarray]":
+) -> tuple[np.ndarray, np.ndarray]:
     """The hypercuboid (lows, highs) addressed by a prefix of length ``prefix_len``."""
     k = bounds.k
     lo = bounds.lows.copy()
@@ -135,7 +135,7 @@ def prefix_to_cuboid(
     return lo, hi
 
 
-def key_to_cuboid(key: int, bounds: IndexSpaceBounds, m: int) -> "tuple[np.ndarray, np.ndarray]":
+def key_to_cuboid(key: int, bounds: IndexSpaceBounds, m: int) -> tuple[np.ndarray, np.ndarray]:
     """The leaf hypercuboid of a full ``m``-bit key."""
     return prefix_to_cuboid(key, m, bounds, m)
 
@@ -145,7 +145,7 @@ def smallest_enclosing_prefix(
     highs: np.ndarray,
     bounds: IndexSpaceBounds,
     m: int,
-) -> "tuple[int, int]":
+) -> tuple[int, int]:
     """Smallest hypercuboid completely holding the query region (figure 1a).
 
     Descends the recursive partition while the query rectangle fits entirely

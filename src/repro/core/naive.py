@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Any
+
 from repro.core.query import RangeQuery, Rect
 from repro.core.routing import QueryProtocol
 from repro.core.lph import prefix_to_cuboid
@@ -31,10 +33,10 @@ __all__ = ["NaiveProtocol", "decompose_to_owner_cuboids"]
 
 
 def decompose_to_owner_cuboids(
-    index,
+    index: Any,
     rect: Rect,
     max_subqueries: int = 1 << 14,
-) -> "list[tuple[int, int, np.ndarray, np.ndarray]]":
+) -> list[tuple[int, int, np.ndarray, np.ndarray]]:
     """Split ``rect`` into prefix cuboids each owned by a single node.
 
     Returns ``(prefix_key, prefix_len, lows, highs)`` tuples whose boxes
@@ -47,8 +49,8 @@ def decompose_to_owner_cuboids(
     m = index.m
     ring = index.ring
     mask = (1 << m) - 1
-    out: "list[tuple[int, int, np.ndarray, np.ndarray]]" = []
-    stack: "list[tuple[int, int]]" = [(0, 0)]  # (prefix_key, prefix_len)
+    out: list[tuple[int, int, np.ndarray, np.ndarray]] = []
+    stack: list[tuple[int, int]] = [(0, 0)]  # (prefix_key, prefix_len)
     while stack:
         prefix_key, prefix_len = stack.pop()
         lows, highs = prefix_to_cuboid(prefix_key, prefix_len, index.bounds, m)
@@ -79,7 +81,7 @@ def decompose_to_owner_cuboids(
     return out
 
 
-def _no_node_inside(ring, key_lo: int, key_hi: int, m: int) -> bool:
+def _no_node_inside(ring: Any, key_lo: int, key_hi: int, m: int) -> bool:
     """True when no node identifier lies in the cyclic interval [key_lo, key_hi)."""
     ids = ring._sorted_ids
     import bisect
@@ -102,7 +104,7 @@ class NaiveProtocol(QueryProtocol):
     (:meth:`_start`) and the hop-by-hop lookup differ.
     """
 
-    def _start(self, node, query: RangeQuery) -> None:
+    def _start(self, node: Any, query: RangeQuery) -> None:
         pieces = decompose_to_owner_cuboids(self.index, query.rect)
         for prefix_key, prefix_len, nl, nh in pieces:
             sq = RangeQuery(
@@ -117,13 +119,13 @@ class NaiveProtocol(QueryProtocol):
             )
             self._route_lookup(node, sq)
 
-    def _route_lookup(self, node, sq: RangeQuery) -> None:
+    def _route_lookup(self, node: Any, sq: RangeQuery) -> None:
         """Walk the Chord lookup path hop by hop, one message per hop."""
         target = self._rotate(sq.prefix_key)
         path = self.index.ring.lookup_path(node, target)
         self._lookup_hop(path, 0, sq, 0)
 
-    def _lookup_hop(self, path, i: int, sq: RangeQuery, hops: int) -> None:
+    def _lookup_hop(self, path: Any, i: int, sq: RangeQuery, hops: int) -> None:
         node = path[i]
         if i == len(path) - 1:
             key_lo, key_hi = self._claimed_range(sq)

@@ -31,7 +31,7 @@ from repro.core.storage import Shard
 from repro.dht.hashing import rotation_offset
 from repro.dht.ring import ChordRing
 from repro.metric.base import Metric
-from repro.sim.engine import Simulator
+from repro.sim import Simulator
 from repro.sim.stats import StatsCollector
 from repro.sim.transport import FaultConfig, Transport, TraceSink
 from repro.util.rng import as_rng
@@ -39,7 +39,7 @@ from repro.util.rng import as_rng
 __all__ = ["QueryPayload", "LandmarkIndex", "IndexPlatform", "take"]
 
 
-def take(dataset: Any, idx) -> Any:
+def take(dataset: Any, idx: Any) -> Any:
     """Index a dataset that may be an ndarray, CSR matrix or plain sequence."""
     if sparse.issparse(dataset) or isinstance(dataset, np.ndarray):
         return dataset[idx]
@@ -86,7 +86,7 @@ class LandmarkIndex:
         rotation: int = 0,
         refine_mode: str = "true",
         replication: int = 1,
-    ):
+    ) -> None:
         if refine_mode not in ("true", "index"):
             raise ValueError(f"unknown refine_mode {refine_mode!r}")
         if replication < 1:
@@ -110,11 +110,11 @@ class LandmarkIndex:
         self.k = space.k
         self.bounds = space.bounds
         self.metric = space.landmark_set.metric
-        self.shards: "dict[Any, Shard]" = {}
-        self._keys: "np.ndarray | None" = None
-        self._points: "np.ndarray | None" = None
-        self._object_ids: "np.ndarray | None" = None
-        self._owner_objs: "np.ndarray | None" = None
+        self.shards: dict[Any, Shard] = {}
+        self._keys: np.ndarray | None = None
+        self._points: np.ndarray | None = None
+        self._object_ids: np.ndarray | None = None
+        self._owner_objs: np.ndarray | None = None
 
     # -- construction -----------------------------------------------------------
 
@@ -132,7 +132,7 @@ class LandmarkIndex:
         mask = np.uint64((1 << self.m) - 1)
         return (self._keys + np.uint64(self.rotation)) & mask
 
-    def distribute(self) -> "int":
+    def distribute(self) -> int:
         """(Re)assign all entries to their current owners.
 
         Returns the number of entries that changed node, which is the
@@ -183,7 +183,7 @@ class LandmarkIndex:
         self._owner_objs = None  # placement cache invalidated
         self.distribute()
 
-    def remove_entry(self, object_id: int) -> "int | None":
+    def remove_entry(self, object_id: int) -> int | None:
         """Remove the entry of ``object_id``; returns its LPH key or None."""
         pos = np.flatnonzero(self._object_ids == object_id)
         if pos.size == 0:
@@ -242,7 +242,7 @@ class LandmarkIndex:
         self,
         obj: Any,
         radius: float,
-        qid: "int | None" = None,
+        qid: int | None = None,
     ) -> RangeQuery:
         """Convert a near-neighbour query ``(obj, radius)`` to its range query."""
         ipoint = self.space.project_one(obj)
@@ -284,7 +284,7 @@ class LandmarkIndex:
     def total_entries(self) -> int:
         return 0 if self._keys is None else len(self._keys)
 
-    def filtering_score(self, sample: Any, seed: "int | np.random.Generator | None" = 0, pairs: int = 500) -> float:
+    def filtering_score(self, sample: Any, seed: int | np.random.Generator | None = 0, pairs: int = 500) -> float:
         """How well the landmark projection preserves distances on a sample.
 
         Mean ratio of the contractive lower bound (L∞ in index space) to the
@@ -343,13 +343,13 @@ class IndexPlatform:
     def __init__(
         self,
         ring: ChordRing,
-        latency=None,
-        sim: "Simulator | None" = None,
-        faults: "FaultConfig | None" = None,
-        trace: "TraceSink | None" = None,
-        transport: "Transport | None" = None,
-        obs=None,
-    ):
+        latency: Any = None,
+        sim: Simulator | None = None,
+        faults: FaultConfig | None = None,
+        trace: TraceSink | None = None,
+        transport: Transport | None = None,
+        obs: Any = None,
+    ) -> None:
         self.ring = ring
         self.latency = latency if latency is not None else ring.latency
         self.obs = obs
@@ -372,7 +372,7 @@ class IndexPlatform:
         self.trace = self.transport.trace
         if obs is not None:
             obs.bind(self.sim)
-        self.indexes: "dict[str, LandmarkIndex]" = {}
+        self.indexes: dict[str, LandmarkIndex] = {}
         #: platform-scoped query ids: unique across all indexes and
         #: concurrent queries, reproducible per platform instance
         self.qids = QidAllocator()
@@ -390,10 +390,10 @@ class IndexPlatform:
         if self.trace is not None:
             self.trace.close()
 
-    def __enter__(self) -> "IndexPlatform":
+    def __enter__(self) -> IndexPlatform:
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
     # -- index lifecycle -------------------------------------------------------------
@@ -410,7 +410,7 @@ class IndexPlatform:
         rotation: bool = False,
         refine_mode: str = "true",
         replication: int = 1,
-        seed: "int | np.random.Generator | None" = 0,
+        seed: int | np.random.Generator | None = 0,
     ) -> LandmarkIndex:
         """Build and distribute a new index (§3.1's initiation procedure).
 
@@ -444,11 +444,11 @@ class IndexPlatform:
     def reindex(
         self,
         name: str,
-        selection: "str | None" = None,
+        selection: str | None = None,
         sample_size: int = 2000,
         threshold: float = 0.02,
-        seed: "int | np.random.Generator | None" = 1,
-    ) -> "dict[str, float]":
+        seed: int | np.random.Generator | None = 1,
+    ) -> dict[str, float]:
         """Landmark regeneration for dynamic datasets (paper §6, future work).
 
         Selects a candidate landmark set, scores old vs new by
@@ -487,9 +487,9 @@ class IndexPlatform:
     def protocol(
         self,
         name: str,
-        stats: "StatsCollector | None" = None,
+        stats: StatsCollector | None = None,
         **kwargs: Any,
-    ) -> "tuple[QueryProtocol, StatsCollector]":
+    ) -> tuple[QueryProtocol, StatsCollector]:
         """A query protocol bound to one index (kwargs forwarded to it).
 
         All protocols from one platform share its transport, so faults,
@@ -503,7 +503,7 @@ class IndexPlatform:
         )
         return proto, stats
 
-    def lifecycle(self, policy: "RetryPolicy | None" = None) -> LifecycleEngine:
+    def lifecycle(self, policy: RetryPolicy | None = None) -> LifecycleEngine:
         """A fresh :class:`repro.core.lifecycle.LifecycleEngine` on the
         platform's transport (deadlines, retries and completion futures)."""
         obs = self.obs
@@ -513,7 +513,8 @@ class IndexPlatform:
             recorder=obs.recorder if obs is not None else None,
         )
 
-    def health_sampler(self, interval: float = 1.0, engine=None, **kwargs):
+    def health_sampler(self, interval: float = 1.0, engine: Any = None,
+                       **kwargs: Any) -> Any:
         """A :class:`repro.obs.HealthSampler` wired to this platform.
 
         Samples event-queue depth, live ring membership and the per-node
@@ -530,10 +531,10 @@ class IndexPlatform:
     def run_workload(
         self,
         name: str,
-        workload,
+        workload: Any,
         reset_sim: bool = True,
         pipelined: bool = True,
-        policy: "RetryPolicy | None" = None,
+        policy: RetryPolicy | None = None,
         **protocol_kwargs: Any,
     ) -> StatsCollector:
         """Issue a :class:`repro.datasets.queries.QueryWorkload` and run it.
@@ -563,7 +564,7 @@ class IndexPlatform:
         maint_bytes0 = self.transport.stats.maintenance_bytes
         maint_msgs0 = self.transport.stats.maintenance_messages
 
-        def issue_one(i: int):
+        def issue_one(i: int) -> Any:
             obj = take(workload.points, i)
             q = index.make_query(obj, float(workload.radii[i]), qid=i)
             node = nodes[int(workload.source_nodes[i]) % len(nodes)]
@@ -597,10 +598,10 @@ class IndexPlatform:
         name: str,
         obj: Any,
         radius: float,
-        source_node=None,
+        source_node: Any = None,
         top_k: int = 10,
-        policy: "RetryPolicy | None" = None,
-        engine: "LifecycleEngine | None" = None,
+        policy: RetryPolicy | None = None,
+        engine: LifecycleEngine | None = None,
         **protocol_kwargs: Any,
     ) -> QueryFuture:
         """Issue one similarity query on the live simulator; returns its future.
@@ -625,11 +626,11 @@ class IndexPlatform:
         name: str,
         obj: Any,
         radius: float,
-        source_node=None,
+        source_node: Any = None,
         top_k: int = 10,
-        policy: "RetryPolicy | None" = None,
+        policy: RetryPolicy | None = None,
         **protocol_kwargs: Any,
-    ) -> "list":
+    ) -> list:
         """One-shot similarity query; returns merged, deduplicated results.
 
         Results are ``ResultEntry`` objects sorted by distance (closest
@@ -648,7 +649,7 @@ class IndexPlatform:
 
     # -- failure injection --------------------------------------------------------------
 
-    def fail_node(self, node) -> None:
+    def fail_node(self, node: Any) -> None:
         """Crash a node: every entry it stored (primaries and replicas)
         vanishes; the ring repairs around it.  Surviving replicas on the new
         owners keep the dead key ranges answerable — queries need no code
@@ -661,7 +662,7 @@ class IndexPlatform:
 
     # -- load ------------------------------------------------------------------------
 
-    def node_load(self, node) -> int:
+    def node_load(self, node: Any) -> int:
         """Total index entries a node stores across all indexes (§3.4's measure)."""
         return sum(
             idx.shards[node].load for idx in self.indexes.values() if node in idx.shards

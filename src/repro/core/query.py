@@ -41,7 +41,7 @@ class QidAllocator:
 
     __slots__ = ("_next",)
 
-    def __init__(self, start: int = 0):
+    def __init__(self, start: int = 0) -> None:
         self._next = start
 
     def next(self) -> int:
@@ -69,7 +69,7 @@ class Rect:
     lows: np.ndarray
     highs: np.ndarray
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.lows = np.asarray(self.lows, dtype=np.float64)
         self.highs = np.asarray(self.highs, dtype=np.float64)
         if self.lows.shape != self.highs.shape or self.lows.ndim != 1:
@@ -79,7 +79,7 @@ class Rect:
     def k(self) -> int:
         return len(self.lows)
 
-    def copy(self) -> "Rect":
+    def copy(self) -> Rect:
         return Rect(self.lows.copy(), self.highs.copy())
 
     def contains_points(self, points: np.ndarray) -> np.ndarray:
@@ -130,9 +130,9 @@ class RangeQuery:
     source: Any = None
     index_name: str = "default"
     payload: Any = None
-    radius: "float | None" = None
+    radius: float | None = None
 
-    def copy(self) -> "RangeQuery":
+    def copy(self) -> RangeQuery:
         return RangeQuery(
             rect=self.rect.copy(),
             prefix_key=self.prefix_key,
@@ -154,9 +154,9 @@ class RangeQuery:
         source: Any = None,
         index_name: str = "default",
         payload: Any = None,
-        qid: "int | None" = None,
-        alloc: "QidAllocator | None" = None,
-    ) -> "RangeQuery":
+        qid: int | None = None,
+        alloc: QidAllocator | None = None,
+    ) -> RangeQuery:
         """Build the initial query: hypercube of side ``2r`` clipped to bounds.
 
         Clipping realises the paper's observation that a query point mapped
@@ -184,7 +184,7 @@ def query_split(
     p: int,
     bounds: IndexSpaceBounds,
     m: int,
-) -> "list[RangeQuery]":
+) -> list[RangeQuery]:
     """Algorithm 4 (QuerySplit): advance/split ``q`` at division position ``p``.
 
     ``p`` must be ``q.prefix_len + 1`` — the next division of the recursive

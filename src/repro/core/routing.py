@@ -52,6 +52,7 @@ reasoning is unchanged.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from typing import Any
 
 import numpy as np
@@ -123,20 +124,20 @@ class QueryProtocol(Protocol):
 
     def __init__(
         self,
-        sim=None,
-        index=None,
-        stats=None,
-        latency=None,
+        sim: Any = None,
+        index: Any = None,
+        stats: Any = None,
+        latency: Any = None,
         surrogate_mode: str = "fixed",
         top_k: int = 10,
         range_filter: bool = True,
         reply_empty: bool = True,
-        maintenance=None,
-        transport=None,
-        engine=None,
-        obs=None,
-        checker=None,
-    ):
+        maintenance: Any = None,
+        transport: Any = None,
+        engine: Any = None,
+        obs: Any = None,
+        checker: Any = None,
+    ) -> None:
         if surrogate_mode not in ("fixed", "literal"):
             raise ValueError(f"unknown surrogate_mode {surrogate_mode!r}")
         if index is None:
@@ -183,10 +184,10 @@ class QueryProtocol(Protocol):
     def _rotate(self, key: int) -> int:
         return (key + self.index.rotation) % (1 << self.index.m)
 
-    def _effective_id(self, node) -> int:
+    def _effective_id(self, node: Any) -> int:
         return (node.id - self.index.rotation) % (1 << self.index.m)
 
-    def _next_hop(self, node, prefix_key: int):
+    def _next_hop(self, node: Any, prefix_key: int) -> Any:
         return node.next_hop(self._rotate(prefix_key))
 
     # -- lifecycle-tracked message plumbing ------------------------------------
@@ -196,14 +197,15 @@ class QueryProtocol(Protocol):
     # through _recv, so branch accounting, retransmission and duplicate
     # suppression live in exactly one place.
 
-    def _drop_cb(self, qid: int, bid: "int | None" = None, psid: "int | None" = None):
+    def _drop_cb(self, qid: int, bid: int | None = None,
+                 psid: int | None = None) -> Callable[[Any], None]:
         """A per-message drop callback: attribute the loss to ``qid`` and
         notify the lifecycle engine so the branch retries or settles."""
         st = self.stats.for_query(qid)
         engine = self.engine
         recorder = self.recorder
 
-        def on_drop(trace) -> None:
+        def on_drop(trace: Any) -> None:
             st.dropped_messages += 1
             if recorder is not None:
                 recorder.event(qid, "drop", parent=psid, status=trace.status)
@@ -214,10 +216,10 @@ class QueryProtocol(Protocol):
 
     def _tracked_send(
         self,
-        src,
-        dst,
-        fn,
-        *args,
+        src: Any,
+        dst: Any,
+        fn: Callable[..., None],
+        *args: Any,
         kind: str,
         size: int,
         qid: int,
@@ -264,7 +266,8 @@ class QueryProtocol(Protocol):
         else:
             engine.arm(qid, bid, transmit)
 
-    def _recv(self, qid: int, bid: "int | None", psid: "int | None", fn, args) -> None:
+    def _recv(self, qid: int, bid: int | None, psid: int | None,
+              fn: Callable[..., None], args: tuple[Any, ...]) -> None:
         """Arrival half of :meth:`_tracked_send`: dedup, process, settle.
 
         ``psid`` is the sid of the send span this message belongs to; it is
@@ -291,7 +294,8 @@ class QueryProtocol(Protocol):
 
     # -- entry points ----------------------------------------------------------
 
-    def issue(self, query: RangeQuery, node, at_time: "float | None" = None):
+    def issue(self, query: RangeQuery, node: Any,
+              at_time: float | None = None) -> Any:
         """Inject ``query`` at ``node`` (optionally at a future simulation time).
 
         Returns the query's :class:`repro.core.lifecycle.QueryFuture` when a
@@ -318,19 +322,19 @@ class QueryProtocol(Protocol):
             self.transport.at(at_time, self._start_root, node, query, root)
         return fut
 
-    def _start_root(self, node, query: RangeQuery, root: "int | None") -> None:
+    def _start_root(self, node: Any, query: RangeQuery, root: int | None) -> None:
         try:
             self._start(node, query)
         finally:
             self.engine.settle(query.qid, root)
 
-    def _start(self, node, query: RangeQuery) -> None:
+    def _start(self, node: Any, query: RangeQuery) -> None:
         """Protocol-specific first step (overridden by the baselines)."""
         self._query_routing(node, query, 0)
 
     # -- Algorithm 3: QueryRouting ---------------------------------------------
 
-    def _query_routing(self, node, q: RangeQuery, hops: int) -> None:
+    def _query_routing(self, node: Any, q: RangeQuery, hops: int) -> None:
         if not node.alive:
             # the issuing node crashed before its scheduled query fired
             self.stats.for_query(q.qid).dropped_messages += 1
@@ -361,8 +365,8 @@ class QueryProtocol(Protocol):
             )
             recorder.push(sid)
         try:
-            routing_groups: "dict[Any, list[RangeQuery]]" = {}
-            refine_groups: "dict[Any, list[RangeQuery]]" = {}
+            routing_groups: dict[Any, list[RangeQuery]] = {}
+            refine_groups: dict[Any, list[RangeQuery]] = {}
             for sq in sublist:
                 n = self._next_hop(node, sq.prefix_key)
                 if n is node:
@@ -381,7 +385,8 @@ class QueryProtocol(Protocol):
 
     # -- message plumbing --------------------------------------------------------
 
-    def _send(self, src, dest, kind: str, sqs: "list[RangeQuery]", hops: int) -> None:
+    def _send(self, src: Any, dest: Any, kind: str,
+              sqs: list[RangeQuery], hops: int) -> None:
         """Bundle subqueries sharing a next hop into one message (§4.1 size model)."""
         qid = sqs[0].qid
         if dest is src:
@@ -397,7 +402,8 @@ class QueryProtocol(Protocol):
             kind=f"query:{kind}", size=size, qid=qid,
         )
 
-    def _open_bundle(self, dest, kind: str, sqs: "list[RangeQuery]", hops: int) -> None:
+    def _open_bundle(self, dest: Any, kind: str,
+                     sqs: list[RangeQuery], hops: int) -> None:
         """Unpack an arrived bundle (liveness already checked by transport)."""
         for sq in sqs:
             if kind == "routing":
@@ -407,7 +413,7 @@ class QueryProtocol(Protocol):
 
     # -- Algorithm 5: SurrogateRefine ----------------------------------------------
 
-    def _surrogate_refine(self, node, q: RangeQuery, hops: int) -> None:
+    def _surrogate_refine(self, node: Any, q: RangeQuery, hops: int) -> None:
         if self._m_refines is not None:
             self._m_refines.inc(self._refine_label)
         recorder = self.recorder
@@ -427,12 +433,12 @@ class QueryProtocol(Protocol):
             if recorder is not None:
                 recorder.pop()
 
-    def _claimed_range(self, q: RangeQuery) -> "tuple[int, int]":
+    def _claimed_range(self, q: RangeQuery) -> tuple[int, int]:
         """The key interval of the cuboid a subquery claims."""
         span = 1 << (self.index.m - q.prefix_len)
         return q.prefix_key, q.prefix_key + span - 1
 
-    def _surrogate_refine_fixed(self, node, q: RangeQuery, hops: int) -> None:
+    def _surrogate_refine_fixed(self, node: Any, q: RangeQuery, hops: int) -> None:
         m = self.index.m
         eff = self._effective_id(node)
         key_lo, key_hi = self._claimed_range(q)
@@ -452,8 +458,8 @@ class QueryProtocol(Protocol):
             return
         # Keys in (eff, key_hi] decompose into the canonical sibling cuboids
         # at each zero bit of eff — the prefixes Algorithm 5 forwards.
-        siblings: "list[tuple[int, int]]" = []
-        jj: "int | None" = j
+        siblings: list[tuple[int, int]] = []
+        jj: int | None = j
         while jj is not None:
             siblings.append((set_bit_at(prefix_of(eff, jj - 1, m), jj, m), jj))
             jj = first_zero_bit(eff, jj + 1, m)
@@ -478,7 +484,7 @@ class QueryProtocol(Protocol):
                 )
                 self._query_routing(node, sq, hops)
 
-    def _surrogate_refine_literal(self, node, q: RangeQuery, hops: int) -> None:
+    def _surrogate_refine_literal(self, node: Any, q: RangeQuery, hops: int) -> None:
         m = self.index.m
         eff = self._effective_id(node)
         key_lo, key_hi = self._claimed_range(q)
@@ -500,7 +506,8 @@ class QueryProtocol(Protocol):
 
     # -- local resolution ------------------------------------------------------------
 
-    def _solve_local(self, node, q: RangeQuery, hops: int, key_lo: int, key_hi: int) -> None:
+    def _solve_local(self, node: Any, q: RangeQuery, hops: int,
+                     key_lo: int, key_hi: int) -> None:
         """Answer the (rect x key-range) slice from local storage and reply.
 
         Index nodes return their ``top_k`` nearest results after refining the
@@ -514,7 +521,7 @@ class QueryProtocol(Protocol):
             self._h_hops.observe(hops, self._proto_label)
         if self.engine is not None:
             self.engine.mark_resolving(q.qid)
-        entries: "list[ResultEntry]" = []
+        entries: list[ResultEntry] = []
         shard = self.index.shards.get(node)
         if shard is not None and len(shard):
             pos = shard.range_search(q.rect.lows, q.rect.highs, key_lo, key_hi)
@@ -548,7 +555,7 @@ class QueryProtocol(Protocol):
                 if recorder is not None:
                     recorder.pop()
 
-    def _reply(self, node, q: RangeQuery, entries: "list[ResultEntry]") -> None:
+    def _reply(self, node: Any, q: RangeQuery, entries: list[ResultEntry]) -> None:
         msg = ResultMessage(q.qid, entries, from_node=node.id)
         st = self.stats.for_query(q.qid)
         if q.source is node:

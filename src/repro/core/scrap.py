@@ -22,6 +22,9 @@ shares prefixes across subqueries.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+from typing import Any
+
 import numpy as np
 
 from repro.core.query import RangeQuery
@@ -50,7 +53,8 @@ class SfcIndex:
     a left shift.
     """
 
-    def __init__(self, landmark_index, p: "int | None" = None, curve: str = "hilbert"):
+    def __init__(self, landmark_index: Any, p: int | None = None,
+                 curve: str = "hilbert") -> None:
         if curve not in _CURVES:
             raise ValueError(f"unknown curve {curve!r} (use 'morton'/'hilbert')")
         self.base = landmark_index
@@ -66,7 +70,7 @@ class SfcIndex:
             raise ValueError(f"m={self.m} too small for {self.k} dimensions")
         #: ring key = curve key << shift
         self.shift = self.m - self.k * self.p
-        self.shards: "dict[object, Shard]" = {}
+        self.shards: dict[object, Shard] = {}
         self._build()
 
     def _build(self) -> None:
@@ -86,11 +90,12 @@ class SfcIndex:
                 shard.add(ring_keys[sel], points[sel], self.base._object_ids[sel])
             self.shards[node] = shard
 
-    def refine_distances(self, q, points, object_ids):
+    def refine_distances(self, q: Any, points: Any, object_ids: Any) -> Any:
         """Delegates candidate refinement to the underlying landmark index."""
         return self.base.refine_distances(q, points, object_ids)
 
-    def query_intervals(self, rect, max_intervals: int = 4096) -> "list[tuple[int, int]]":
+    def query_intervals(self, rect: Any,
+                        max_intervals: int = 4096) -> list[tuple[int, int]]:
         """Ring-key intervals covering the rectangle (scaled curve intervals).
 
         Adaptively coarsens the decomposition when a fine one would exceed
@@ -134,12 +139,13 @@ class SfcRangeProtocol(QueryProtocol):
     the interval.
     """
 
-    def _start(self, node, query: RangeQuery) -> None:
+    def _start(self, node: Any, query: RangeQuery) -> None:
         for key_lo, key_hi in self.index.query_intervals(query.rect):
             path = self.index.ring.lookup_path(node, key_lo)
             self._lookup_hop(path, 0, query, key_lo, key_hi, 0)
 
-    def _lookup_hop(self, path, i: int, q: RangeQuery, key_lo: int, key_hi: int, hops: int) -> None:
+    def _lookup_hop(self, path: Any, i: int, q: RangeQuery,
+                    key_lo: int, key_hi: int, hops: int) -> None:
         node = path[i]
         if i == len(path) - 1:
             self._walk_interval(node, q, key_lo, key_hi, hops)
@@ -147,7 +153,8 @@ class SfcRangeProtocol(QueryProtocol):
         nxt = path[i + 1]
         self._hop_message(node, nxt, q, self._lookup_hop, path, i + 1, q, key_lo, key_hi, hops + 1)
 
-    def _walk_interval(self, owner, q: RangeQuery, key_lo: int, key_hi: int, hops: int) -> None:
+    def _walk_interval(self, owner: Any, q: RangeQuery,
+                       key_lo: int, key_hi: int, hops: int) -> None:
         """Solve at the interval's current owner, then continue clockwise."""
         self._solve_local(owner, q, hops, key_lo, key_hi)
         if in_interval_open_closed(key_hi, owner.predecessor.id, owner.id, self.index.m):
@@ -157,7 +164,8 @@ class SfcRangeProtocol(QueryProtocol):
             return
         self._hop_message(owner, nxt, q, self._walk_interval, nxt, q, key_lo, key_hi, hops + 1)
 
-    def _hop_message(self, src, dst, q: RangeQuery, handler, *args) -> None:
+    def _hop_message(self, src: Any, dst: Any, q: RangeQuery,
+                     handler: Callable[..., None], *args: Any) -> None:
         size = query_message_size(1, self.index.k)
         self._tracked_send(
             src, dst, handler, *args,

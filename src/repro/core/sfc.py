@@ -21,6 +21,8 @@ key interval under either curve — the property
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import numpy as np
 
 __all__ = [
@@ -50,7 +52,9 @@ def quantize(points: np.ndarray, lows: np.ndarray, highs: np.ndarray, p: int) ->
     return np.clip(cells, 0, (1 << p) - 1)
 
 
-def dequantize_cell(cells: np.ndarray, lows: np.ndarray, highs: np.ndarray, p: int):
+def dequantize_cell(
+        cells: np.ndarray, lows: np.ndarray, highs: np.ndarray, p: int,
+) -> tuple[np.ndarray, np.ndarray]:
     """Return the (lo, hi) float box of integer grid cells."""
     cells = np.atleast_2d(np.asarray(cells, dtype=np.int64))
     span = (np.asarray(highs) - np.asarray(lows)) / (1 << p)
@@ -97,7 +101,7 @@ def morton_decode(keys: np.ndarray, k: int, p: int) -> np.ndarray:
 # -- Hilbert (Skilling's transform) ---------------------------------------------------
 
 
-def _transpose_to_axes(x: "list[int]", k: int, p: int) -> "list[int]":
+def _transpose_to_axes(x: list[int], k: int, p: int) -> list[int]:
     """Skilling: transposed Hilbert index -> axis coordinates (in place)."""
     n = 2 << (p - 1)
     # Gray decode by H ^ (H/2)
@@ -120,7 +124,7 @@ def _transpose_to_axes(x: "list[int]", k: int, p: int) -> "list[int]":
     return x
 
 
-def _axes_to_transpose(x: "list[int]", k: int, p: int) -> "list[int]":
+def _axes_to_transpose(x: list[int], k: int, p: int) -> list[int]:
     """Skilling: axis coordinates -> transposed Hilbert index (in place)."""
     m = 1 << (p - 1)
     q = m
@@ -148,7 +152,7 @@ def _axes_to_transpose(x: "list[int]", k: int, p: int) -> "list[int]":
     return x
 
 
-def _untranspose(x: "list[int]", k: int, p: int) -> int:
+def _untranspose(x: list[int], k: int, p: int) -> int:
     """Collect the transposed form into a single k*p-bit integer."""
     key = 0
     for t in range(p):
@@ -158,7 +162,7 @@ def _untranspose(x: "list[int]", k: int, p: int) -> int:
     return key
 
 
-def _transpose(key: int, k: int, p: int) -> "list[int]":
+def _transpose(key: int, k: int, p: int) -> list[int]:
     """Split a k*p-bit integer into the transposed form."""
     x = [0] * k
     for t in range(p):
@@ -200,10 +204,10 @@ def decompose_rect_to_intervals(
     hi_cells: np.ndarray,
     k: int,
     p: int,
-    encode,
+    encode: Callable[[np.ndarray, int, int], np.ndarray],
     max_intervals: int = 1 << 14,
-    max_level: "int | None" = None,
-) -> "list[tuple[int, int]]":
+    max_level: int | None = None,
+) -> list[tuple[int, int]]:
     """Decompose an integer cell box into contiguous curve-key intervals.
 
     ``encode`` is :func:`morton_encode` or :func:`hilbert_encode`.  Descends
@@ -223,7 +227,7 @@ def decompose_rect_to_intervals(
     lo_cells = np.asarray(lo_cells, dtype=np.int64)
     hi_cells = np.asarray(hi_cells, dtype=np.int64)
     cutoff = p if max_level is None else max(1, min(max_level, p))
-    intervals: "list[tuple[int, int]]" = []
+    intervals: list[tuple[int, int]] = []
 
     def emit(corner: np.ndarray, level: int) -> None:
         size = 1 << (k * (p - level))
@@ -256,7 +260,7 @@ def decompose_rect_to_intervals(
 
     visit(np.zeros(k, dtype=np.int64), 0)
     intervals.sort()
-    merged: "list[tuple[int, int]]" = []
+    merged: list[tuple[int, int]] = []
     for a, b in intervals:
         if merged and a == merged[-1][1] + 1:
             merged[-1] = (merged[-1][0], b)

@@ -29,7 +29,7 @@ class Shard:
 
     __slots__ = ("keys", "points", "object_ids")
 
-    def __init__(self, k: int):
+    def __init__(self, k: int) -> None:
         self.keys = np.empty(0, dtype=np.uint64)
         self.points = np.empty((0, k), dtype=np.float64)
         self.object_ids = np.empty(0, dtype=np.int64)
@@ -63,8 +63,8 @@ class Shard:
         self,
         lows: np.ndarray,
         highs: np.ndarray,
-        key_lo: "int | None" = None,
-        key_hi: "int | None" = None,
+        key_lo: int | None = None,
+        key_hi: int | None = None,
     ) -> np.ndarray:
         """Positions of entries inside the rectangle (and key range, if given).
 

@@ -17,6 +17,7 @@ unified span model with :meth:`QueryTrace.to_spans`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.routing import QueryProtocol
 from repro.util.bits import key_to_bits
@@ -36,8 +37,8 @@ class TraceEvent:
     hops: int
     time: float
     #: for "solve": the claimed key interval answered locally
-    key_lo: "int | None" = None
-    key_hi: "int | None" = None
+    key_lo: int | None = None
+    key_hi: int | None = None
     #: for "solve": number of entries returned
     results: int = 0
 
@@ -51,24 +52,24 @@ class QueryTrace:
     """All events of one traced query, in execution order."""
 
     qid: int
-    events: "list[TraceEvent]" = field(default_factory=list)
+    events: list[TraceEvent] = field(default_factory=list)
 
-    def solves(self) -> "list[TraceEvent]":
+    def solves(self) -> list[TraceEvent]:
         return [e for e in self.events if e.kind == "solve"]
 
-    def routes(self) -> "list[TraceEvent]":
+    def routes(self) -> list[TraceEvent]:
         return [e for e in self.events if e.kind == "route"]
 
-    def refines(self) -> "list[TraceEvent]":
+    def refines(self) -> list[TraceEvent]:
         return [e for e in self.events if e.kind == "refine"]
 
-    def nodes_visited(self) -> "set[int]":
+    def nodes_visited(self) -> set[int]:
         return {e.node_id for e in self.events}
 
     def max_prefix_len(self) -> int:
         return max((e.prefix_len for e in self.events), default=0)
 
-    def to_spans(self, recorder=None) -> list:
+    def to_spans(self, recorder: Any = None) -> list[Any]:
         """This trace as unified :class:`repro.obs.spans.Span` records.
 
         Joins the legacy flat stream into the qid-correlated span model
@@ -98,16 +99,16 @@ class QueryTrace:
 class TracingProtocol(QueryProtocol):
     """A :class:`QueryProtocol` that additionally records execution traces."""
 
-    def __init__(self, *args, **kwargs):
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
-        self.traces: "dict[int, QueryTrace]" = {}
+        self.traces: dict[int, QueryTrace] = {}
 
     def _trace(self, qid: int) -> QueryTrace:
         if qid not in self.traces:
             self.traces[qid] = QueryTrace(qid=qid)
         return self.traces[qid]
 
-    def _query_routing(self, node, q, hops):
+    def _query_routing(self, node: Any, q: Any, hops: int) -> None:
         self._trace(q.qid).events.append(
             TraceEvent(
                 kind="route",
@@ -121,7 +122,7 @@ class TracingProtocol(QueryProtocol):
         )
         super()._query_routing(node, q, hops)
 
-    def _surrogate_refine(self, node, q, hops):
+    def _surrogate_refine(self, node: Any, q: Any, hops: int) -> None:
         self._trace(q.qid).events.append(
             TraceEvent(
                 kind="refine",
@@ -135,7 +136,8 @@ class TracingProtocol(QueryProtocol):
         )
         super()._surrogate_refine(node, q, hops)
 
-    def _solve_local(self, node, q, hops, key_lo, key_hi):
+    def _solve_local(self, node: Any, q: Any, hops: int,
+                     key_lo: int, key_hi: int) -> None:
         before = len(self.stats.for_query(q.qid).entries)
         super()._solve_local(node, q, hops, key_lo, key_hi)
         # entries may have been delivered locally (source == node) or queued;

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Any
+
 from repro.core.lph import lp_hash_batch
 from repro.core.platform import take
 
@@ -58,11 +60,11 @@ class UpdateProtocol:
         index stores references, not objects).
     """
 
-    def __init__(self, index):
+    def __init__(self, index: Any) -> None:
         self.index = index
         self.stats = UpdateStats()
 
-    def _route_cost(self, source_node, ring_key: int) -> None:
+    def _route_cost(self, source_node: Any, ring_key: int) -> None:
         """Account the Chord lookup that carries one update entry."""
         path = self.index.ring.lookup_path(source_node, ring_key)
         hops = len(path) - 1
@@ -70,7 +72,7 @@ class UpdateProtocol:
         self.stats.messages += max(hops, 1)
         self.stats.bytes += max(hops, 1) * entry_message_size(1, self.index.k)
 
-    def insert(self, object_id: int, source_node=None) -> int:
+    def insert(self, object_id: int, source_node: Any = None) -> int:
         """Index ``dataset[object_id]``: project, hash, route to the owner.
 
         Returns the entry's LPH key.  The object must already be present in
@@ -87,7 +89,7 @@ class UpdateProtocol:
         self.stats.inserts += 1
         return key
 
-    def delete(self, object_id: int, source_node=None) -> bool:
+    def delete(self, object_id: int, source_node: Any = None) -> bool:
         """Remove the entry of ``object_id``; returns False when absent."""
         index = self.index
         source_node = source_node or index.ring.nodes()[0]
@@ -99,7 +101,7 @@ class UpdateProtocol:
         self.stats.deletes += 1
         return True
 
-    def insert_many(self, object_ids, source_node=None) -> None:
+    def insert_many(self, object_ids: Any, source_node: Any = None) -> None:
         """Insert a batch (one routed entry each; arrays rebuilt once at the
         end for efficiency)."""
         index = self.index

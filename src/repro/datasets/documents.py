@@ -78,7 +78,7 @@ class SyntheticCorpusConfig:
     #: mean TF above 1 (term frequencies are 1 + Poisson(tf_excess))
     tf_excess: float = 0.7
 
-    def scaled(self, factor: float) -> "SyntheticCorpusConfig":
+    def scaled(self, factor: float) -> SyntheticCorpusConfig:
         """A corpus shrunk by ``factor`` with proportional vocabulary.
 
         Unique-term counts per document are kept (they set the angular
@@ -163,7 +163,7 @@ def _sample_distinct_terms(
     rng: np.random.Generator,
     rounds: int = 4,
     oversample: float = 1.35,
-) -> "tuple[np.ndarray, np.ndarray]":
+) -> tuple[np.ndarray, np.ndarray]:
     """Draw ``sizes[i]`` distinct Zipf-distributed term ids per document ``i``.
 
     Returns flat ``(doc_ids, term_ids)`` arrays in CSR order.  Sampling is
@@ -213,7 +213,7 @@ def _sample_distinct_terms(
 
 def generate_corpus(
     cfg: SyntheticCorpusConfig,
-    seed: "int | np.random.Generator | None" = 0,
+    seed: int | np.random.Generator | None = 0,
 ) -> DocumentCorpus:
     """Generate the synthetic corpus as a TF/IDF CSR matrix."""
     rng = as_rng(seed)
@@ -240,7 +240,7 @@ def generate_topics(
     corpus: DocumentCorpus,
     n_topics: int = 50,
     mean_terms: float = 3.5,
-    seed: "int | np.random.Generator | None" = 1,
+    seed: int | np.random.Generator | None = 1,
 ) -> sparse.csr_matrix:
     """Synthesise short topic queries (paper: 50 topics, ~3.5 unique terms).
 
@@ -262,7 +262,7 @@ def generate_topics(
     )
 
 
-def vector_size_stats(doc_sizes: np.ndarray) -> "dict[str, float]":
+def vector_size_stats(doc_sizes: np.ndarray) -> dict[str, float]:
     """The Table 2 statistics of a vector-size sample."""
     s = np.asarray(doc_sizes)
     return {

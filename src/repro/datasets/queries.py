@@ -43,7 +43,7 @@ class QueryWorkload:
         the paper).
     """
 
-    points: "np.ndarray | object"
+    points: np.ndarray | object
     radii: np.ndarray
     arrival_times: np.ndarray
     source_nodes: np.ndarray
@@ -58,9 +58,9 @@ class QueryWorkload:
         radius: float,
         n_nodes: int,
         mean_interarrival: float = 150.0,
-        seed: "int | np.random.Generator | None" = 2,
+        seed: int | np.random.Generator | None = 2,
         start_time: float = 0.0,
-    ) -> "QueryWorkload":
+    ) -> QueryWorkload:
         """Assemble a workload with Poisson arrivals and random source nodes."""
         rng = as_rng(seed)
         n = points.shape[0] if hasattr(points, "shape") else len(points)
@@ -75,7 +75,7 @@ class QueryWorkload:
 def poisson_arrivals(
     n: int,
     mean_interarrival: float,
-    seed: "int | np.random.Generator | None" = 2,
+    seed: int | np.random.Generator | None = 2,
     start_time: float = 0.0,
 ) -> np.ndarray:
     """Arrival times with exponential inter-arrival (paper: mean 150 s)."""
@@ -88,7 +88,7 @@ def synthetic_query_points(
     cfg,
     n_queries: int,
     centers: np.ndarray,
-    seed: "int | np.random.Generator | None" = 3,
+    seed: int | np.random.Generator | None = 3,
 ) -> np.ndarray:
     """Query points drawn "with the same method" as the synthetic dataset.
 
@@ -110,7 +110,7 @@ def synthetic_query_points(
     return points
 
 
-def repeat_topics(topics, n_queries: int, seed: "int | np.random.Generator | None" = 4):
+def repeat_topics(topics, n_queries: int, seed: int | np.random.Generator | None = 4):
     """Repeat a small topic set to ``n_queries`` queries in random order.
 
     The paper uses "2000 queries in the simulation by repeating these 50

@@ -55,8 +55,8 @@ def _template(kind: int, center: np.ndarray, size: float, n: int, rng: np.random
 
 def generate_shapes(
     cfg: ShapeFamilyConfig,
-    seed: "int | np.random.Generator | None" = 0,
-) -> "tuple[list[np.ndarray], np.ndarray]":
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[list[np.ndarray], np.ndarray]:
     """Generate jittered shapes; returns ``(point_sets, template_ids)``."""
     rng = as_rng(seed)
     centers = rng.uniform(0.25 * cfg.canvas, 0.75 * cfg.canvas, size=(cfg.n_templates, 2))

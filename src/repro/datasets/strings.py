@@ -50,8 +50,8 @@ def mutate(seq: str, rate: float, rng: np.random.Generator, alphabet: str = DNA_
 
 def generate_sequences(
     cfg: SequenceFamilyConfig,
-    seed: "int | np.random.Generator | None" = 0,
-) -> "tuple[list[str], np.ndarray]":
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[list[str], np.ndarray]:
     """Generate sequences clustered into mutation families.
 
     Returns ``(sequences, family_ids)``.

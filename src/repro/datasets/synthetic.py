@@ -65,9 +65,9 @@ def paper_table1_config(n_objects: int = 100_000) -> ClusteredGaussianConfig:
 
 def generate_clustered(
     cfg: ClusteredGaussianConfig,
-    seed: "int | np.random.Generator | None" = 0,
-    centers: "np.ndarray | None" = None,
-) -> "tuple[np.ndarray, np.ndarray]":
+    seed: int | np.random.Generator | None = 0,
+    centers: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
     """Generate a clustered dataset; returns ``(objects, centers)``.
 
     ``objects`` is ``(n_objects, dim)`` float64; ``centers`` is

@@ -44,8 +44,8 @@ def _template(rng: np.random.Generator, cfg: TimeSeriesFamilyConfig) -> np.ndarr
 
 def generate_timeseries(
     cfg: TimeSeriesFamilyConfig,
-    seed: "int | np.random.Generator | None" = 0,
-) -> "tuple[np.ndarray, np.ndarray]":
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
     """Generate series clustered into template families.
 
     Returns ``(series, family_ids)`` where ``series`` is

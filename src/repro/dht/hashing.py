@@ -40,7 +40,7 @@ def rotation_offset(index_name: str, m: int) -> int:
     return hash_to_id(b"rotation:" + index_name.encode("utf-8"), m)
 
 
-def random_ids(n: int, m: int, seed: "int | np.random.Generator | None" = 0) -> np.ndarray:
+def random_ids(n: int, m: int, seed: int | np.random.Generator | None = 0) -> np.ndarray:
     """``n`` distinct uniform identifiers (uint64), for synthetic rings."""
     rng = as_rng(seed)
     if m > 64:

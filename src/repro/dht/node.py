@@ -12,7 +12,7 @@ then invokes ``SurrogateRefine`` on the successor.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.dht.idspace import cw_distance, in_interval_open_closed
 
@@ -52,17 +52,17 @@ class ChordNode:
         "alive",
     )
 
-    def __init__(self, node_id: int, m: int, name: str = "", host: int = 0):
+    def __init__(self, node_id: int, m: int, name: str = "", host: int = 0) -> None:
         self.id = int(node_id)
         self.m = m
         self.name = name or f"node-{node_id:x}"
         self.host = host
-        self.fingers: "list[ChordNode]" = []
-        self.successors: "list[ChordNode]" = []
-        self.predecessor: "Optional[ChordNode]" = None
+        self.fingers: list[ChordNode] = []
+        self.successors: list[ChordNode] = []
+        self.predecessor: ChordNode | None = None
         #: piggybacked load information about neighbours (§3.4); maps node id
         #: to the last load value heard.
-        self.load_hint: "dict[int, float]" = {}
+        self.load_hint: dict[int, float] = {}
         #: liveness flag used by the churn/stabilisation simulation.
         self.alive: bool = True
 
@@ -72,13 +72,13 @@ class ChordNode:
     # -- routing -------------------------------------------------------------
 
     @property
-    def successor(self) -> "ChordNode":
+    def successor(self) -> ChordNode:
         """Immediate successor (first entry of the successor list)."""
         if not self.successors:
             return self
         return self.successors[0]
 
-    def routing_table(self) -> "Iterable[ChordNode]":
+    def routing_table(self) -> Iterable[ChordNode]:
         """Finger table + successor list + self (footnote 4)."""
         seen = {self.id}
         yield self
@@ -91,7 +91,7 @@ class ChordNode:
                 seen.add(n.id)
                 yield n
 
-    def next_hop(self, key: int) -> "ChordNode":
+    def next_hop(self, key: int) -> ChordNode:
         """Closest table entry strictly preceding ``key`` on the ring.
 
         Returns ``self`` when no table entry is closer to the key than this

@@ -46,16 +46,16 @@ class PastryNode:
         "cw_span", "ccw_span",
     )
 
-    def __init__(self, node_id_: int, m: int, b: int, name: str = "", host: int = 0):
+    def __init__(self, node_id_: int, m: int, b: int, name: str = "", host: int = 0) -> None:
         self.id = int(node_id_)
         self.m = m
         self.b = b
         self.name = name or f"pastry-{node_id_:x}"
         self.host = host
         #: routing_table[row][col] — row = shared-digit count, col = digit value
-        self.routing_table: "list[list[PastryNode | None]]" = []
+        self.routing_table: list[list[PastryNode | None]] = []
         #: numerically nearest neighbours, both directions, merged
-        self.leaf_set: "list[PastryNode]" = []
+        self.leaf_set: list[PastryNode] = []
         #: ring distance to the furthest leaf clockwise / counter-clockwise
         self.cw_span: int = 0
         self.ccw_span: int = 0
@@ -105,21 +105,21 @@ class PastryRing:
         m: int = 64,
         b: int = 4,
         leaf_set_size: int = 16,
-        latency: "LatencyModel | None" = None,
-    ):
+        latency: LatencyModel | None = None,
+    ) -> None:
         if m % b != 0:
             raise ValueError(f"m={m} must be a multiple of the digit width b={b}")
         self.m = m
         self.b = b
         self.leaf_set_size = leaf_set_size
         self.latency = latency
-        self.nodes_by_id: "dict[int, PastryNode]" = {}
-        self._sorted_ids: "list[int]" = []
+        self.nodes_by_id: dict[int, PastryNode] = {}
+        self._sorted_ids: list[int] = []
 
     def __len__(self) -> int:
         return len(self.nodes_by_id)
 
-    def nodes(self) -> "list[PastryNode]":
+    def nodes(self) -> list[PastryNode]:
         return [self.nodes_by_id[i] for i in self._sorted_ids]
 
     @classmethod
@@ -128,10 +128,10 @@ class PastryRing:
         n_nodes: int,
         m: int = 64,
         b: int = 4,
-        seed: "int | np.random.Generator | None" = 0,
-        latency: "LatencyModel | None" = None,
+        seed: int | np.random.Generator | None = 0,
+        latency: LatencyModel | None = None,
         leaf_set_size: int = 16,
-    ) -> "PastryRing":
+    ) -> PastryRing:
         """Construct a converged ring of ``n_nodes`` (SHA-1 node ids)."""
         rng = as_rng(seed)
         ring = cls(m=m, b=b, leaf_set_size=leaf_set_size, latency=latency)
@@ -212,7 +212,7 @@ class PastryRing:
 
     # -- routing ------------------------------------------------------------------
 
-    def route_step(self, node: PastryNode, key: int) -> "PastryNode | None":
+    def route_step(self, node: PastryNode, key: int) -> PastryNode | None:
         """One Pastry forwarding decision; ``None`` means deliver here."""
         # 1. leaf-set rule: deliver to the numerically closest of self ∪ leafs
         candidates = [node] + node.leaf_set
@@ -244,7 +244,7 @@ class PastryRing:
                     best, best_dist = cand, d
         return best
 
-    def lookup_path(self, start: PastryNode, key: int) -> "list[PastryNode]":
+    def lookup_path(self, start: PastryNode, key: int) -> list[PastryNode]:
         """Full route from ``start`` to the key's owner."""
         path = [start]
         current = start

@@ -18,7 +18,7 @@ valid finger); lookup latency drops.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -50,27 +50,27 @@ class ChordRing:
         self,
         m: int = 64,
         successor_list_len: int = 16,
-        latency: "LatencyModel | None" = None,
+        latency: LatencyModel | None = None,
         pns: bool = False,
-    ):
+    ) -> None:
         if pns and latency is None:
             raise ValueError("PNS finger selection needs a latency model")
         self.m = m
         self.successor_list_len = successor_list_len
         self.latency = latency
         self.pns = pns
-        self.nodes_by_id: "dict[int, ChordNode]" = {}
-        self._sorted_ids: "list[int]" = []
+        self.nodes_by_id: dict[int, ChordNode] = {}
+        self._sorted_ids: list[int] = []
 
     # -- membership -----------------------------------------------------------
 
     def __len__(self) -> int:
         return len(self.nodes_by_id)
 
-    def __iter__(self) -> "Iterable[ChordNode]":
+    def __iter__(self) -> Iterable[ChordNode]:
         return iter(self.nodes())
 
-    def nodes(self) -> "list[ChordNode]":
+    def nodes(self) -> list[ChordNode]:
         """All nodes in identifier order."""
         return [self.nodes_by_id[i] for i in self._sorted_ids]
 
@@ -79,12 +79,12 @@ class ChordRing:
         cls,
         n_nodes: int,
         m: int = 64,
-        seed: "int | np.random.Generator | None" = 0,
-        latency: "LatencyModel | None" = None,
+        seed: int | np.random.Generator | None = 0,
+        latency: LatencyModel | None = None,
         pns: bool = False,
         successor_list_len: int = 16,
         id_source: str = "hash",
-    ) -> "ChordRing":
+    ) -> ChordRing:
         """Construct a stabilised ring of ``n_nodes``.
 
         ``id_source="hash"`` derives ids by SHA-1 of node names (consistent
@@ -95,7 +95,7 @@ class ChordRing:
         rng = as_rng(seed)
         ring = cls(m=m, successor_list_len=successor_list_len, latency=latency, pns=pns)
         if id_source == "hash":
-            ids: "list[int]" = []
+            ids: list[int] = []
             seen: set = set()
             salt = 0
             while len(ids) < n_nodes:
@@ -176,7 +176,7 @@ class ChordRing:
         idx = bisect_left(self._sorted_ids, key % (1 << self.m)) - 1
         return self.nodes_by_id[self._sorted_ids[idx]]
 
-    def interval_of(self, node: ChordNode) -> "tuple[int, int]":
+    def interval_of(self, node: ChordNode) -> tuple[int, int]:
         """The ownership interval ``(predecessor_id, node_id]`` of a member.
 
         These are exactly the keys :meth:`successor_of` maps to ``node``
@@ -237,11 +237,11 @@ class ChordRing:
         self,
         node: ChordNode,
         id_arr: np.ndarray,
-        nodes: "list[ChordNode]",
+        nodes: list[ChordNode],
         two_m: int,
-    ) -> "list[ChordNode]":
+    ) -> list[ChordNode]:
         n = len(nodes)
-        fingers: "list[ChordNode]" = []
+        fingers: list[ChordNode] = []
         if n == 1:
             return fingers
         hosts = np.asarray([nd.host for nd in nodes], dtype=np.intp)
@@ -276,7 +276,7 @@ class ChordRing:
 
     # -- iterative lookup (used by the naive baseline and tests) -----------------
 
-    def lookup_path(self, start: ChordNode, key: int) -> "list[ChordNode]":
+    def lookup_path(self, start: ChordNode, key: int) -> list[ChordNode]:
         """Greedy Chord lookup path from ``start`` to the owner of ``key``.
 
         Returns the node sequence ``[start, ..., owner]``; its length minus

@@ -31,6 +31,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Any
+
 from repro.dht.idspace import in_interval_open, in_interval_open_closed
 from repro.dht.node import ChordNode
 from repro.dht.ring import ChordRing
@@ -87,20 +89,20 @@ class StabilizationProtocol(Protocol):
     def __init__(
         self,
         ring: ChordRing,
-        sim=None,
-        latency=None,
-        config: MaintenanceConfig = MaintenanceConfig(),
-        seed: "int | np.random.Generator | None" = 0,
-        transport=None,
-        obs=None,
-    ):
+        sim: Any = None,
+        latency: Any = None,
+        config: MaintenanceConfig | None = None,
+        seed: int | np.random.Generator | None = 0,
+        transport: Any = None,
+        obs: Any = None,
+    ) -> None:
         super().__init__(
             sim=sim,
             latency=latency if latency is not None else ring.latency,
             transport=transport,
         )
         self.ring = ring
-        self.config = config
+        self.config = config if config is not None else MaintenanceConfig()
         self.rng = as_rng(seed)
         registry = obs.registry if obs is not None else None
         if registry is not None and registry.enabled:
@@ -116,16 +118,16 @@ class StabilizationProtocol(Protocol):
             self._m_control = self._m_saved = self._m_churn = None
         self._running = False
         #: next finger level to fix, per node id
-        self._finger_cursor: "dict[int, int]" = {}
+        self._finger_cursor: dict[int, int] = {}
         #: last time a query message used the directed link (src_host, dst_host)
-        self._link_query_time: "dict[tuple[int, int], float]" = {}
+        self._link_query_time: dict[tuple[int, int], float] = {}
 
     def default_stats(self) -> MaintenanceStats:
         return MaintenanceStats()
 
     # -- piggyback plumbing ------------------------------------------------------
 
-    def note_query_traffic(self, src_host: int, dst_host: int, at: "float | None" = None) -> None:
+    def note_query_traffic(self, src_host: int, dst_host: int, at: float | None = None) -> None:
         """Record query traffic on a link (wired in by the query protocol)."""
         self._link_query_time[(src_host, dst_host)] = self.sim.now if at is None else at
 
@@ -206,12 +208,12 @@ class StabilizationProtocol(Protocol):
 
     # -- the Chord maintenance operations -------------------------------------------------
 
-    def _first_live_successor(self, node: ChordNode) -> "ChordNode | None":
+    def _first_live_successor(self, node: ChordNode) -> ChordNode | None:
         while node.successors and not node.successors[0].alive:
             node.successors.pop(0)
         return node.successors[0] if node.successors else None
 
-    def _recover_successor(self, node: ChordNode) -> "ChordNode | None":
+    def _recover_successor(self, node: ChordNode) -> ChordNode | None:
         """Emergency re-entry when the whole successor list died.
 
         A node whose every known successor crashed can never repair through
@@ -277,9 +279,9 @@ class StabilizationProtocol(Protocol):
             return
         node.successors = self._merged_successors(node, succ)
 
-    def _merged_successors(self, node: ChordNode, succ: ChordNode) -> "list[ChordNode]":
+    def _merged_successors(self, node: ChordNode, succ: ChordNode) -> list[ChordNode]:
         """``[succ] + succ.successors``, live, deduplicated, length-capped."""
-        merged: "list[ChordNode]" = [succ]
+        merged: list[ChordNode] = [succ]
         for s in succ.successors:
             if s is node or not s.alive:
                 continue
@@ -289,7 +291,7 @@ class StabilizationProtocol(Protocol):
                 break
         return merged
 
-    def local_lookup(self, start: ChordNode, key: int, max_hops: "int | None" = None) -> "tuple[ChordNode | None, int]":
+    def local_lookup(self, start: ChordNode, key: int, max_hops: int | None = None) -> tuple[ChordNode | None, int]:
         """Greedy lookup using only node-local (possibly stale) tables.
 
         Returns ``(owner_or_None, hops)``; each hop costs one control

@@ -5,6 +5,7 @@ Every table and figure of the paper's §4 has a named configuration in
 regenerates it.
 """
 
+from repro.eval.demo import run_demo
 from repro.eval.expansion import expand_query
 from repro.eval.validate import CheckResult, self_check
 from repro.eval.experiments import (
@@ -75,4 +76,5 @@ __all__ = [
     "expand_query",
     "self_check",
     "CheckResult",
+    "run_demo",
 ]

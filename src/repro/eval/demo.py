@@ -1,5 +1,8 @@
 """A small fault-injected workload with the full observability stack on.
 
+(Lives in ``eval`` because it drives the whole stack — platform, datasets,
+overlay, faults; ``obs`` itself stays a leaf layer per layers.toml.)
+
 This is what ``repro obs-demo`` runs and what CI records as artifacts: a
 clustered synthetic dataset on a Chord overlay, queried under message loss
 with lifecycle retries, with metrics, span tracing and health sampling all
@@ -41,14 +44,13 @@ def run_demo(
     from repro.datasets.synthetic import ClusteredGaussianConfig, generate_clustered
     from repro.dht.ring import ChordRing
     from repro.metric.vector import EuclideanMetric
+    from repro.obs import Observability
+    from repro.obs.export import write_jsonl, write_prometheus
+    from repro.obs.load import STORED_ENTRIES_GAUGE, record_load_vector
     from repro.sim.king import king_latency_model
     from repro.sim.transport import FaultConfig
 
-    from . import Observability
-    from .export import write_jsonl, write_prometheus
-    from .load import STORED_ENTRIES_GAUGE, record_load_vector
-
-    paths: "dict[str, str]" = {}
+    paths: dict[str, str] = {}
     out = None
     if out_dir is not None:
         out = Path(out_dir)

@@ -37,9 +37,9 @@ def batch_exact_top_k(
     metric: Metric,
     queries: Any,
     k: int = 10,
-    radius: "float | None" = None,
+    radius: float | None = None,
     chunk: int = 256,
-) -> "list[np.ndarray]":
+) -> list[np.ndarray]:
     """Exact top-k ids for many queries, chunked over the query axis.
 
     With ``radius`` given, candidates farther than ``radius`` are excluded
@@ -47,7 +47,7 @@ def batch_exact_top_k(
     near-neighbour query (matching what the distributed system can return).
     """
     n_q = queries.shape[0] if hasattr(queries, "shape") else len(queries)
-    out: "list[np.ndarray]" = []
+    out: list[np.ndarray] = []
     for start in range(0, n_q, chunk):
         stop = min(start + chunk, n_q)
         block = take(queries, np.arange(start, stop))

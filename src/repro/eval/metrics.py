@@ -11,6 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
+# load-vector statistics live with the per-node gauges in repro.obs.load
+# (obs is below eval in layers.toml); re-exported here for report code
+from repro.obs.load import gini_coefficient, load_summary
+
 __all__ = [
     "merge_top_k",
     "recall_at_k",
@@ -26,7 +30,7 @@ def merge_top_k(entries, k: int = 10) -> np.ndarray:
     Deduplicates by object id (keeping the best distance) and returns object
     ids sorted by ascending distance, at most ``k``.
     """
-    best: "dict[int, float]" = {}
+    best: dict[int, float] = {}
     for e in entries:
         if e.object_id not in best or e.distance < best[e.object_id]:
             best[e.object_id] = e.distance
@@ -43,7 +47,7 @@ def recall_at_k(true_ids: np.ndarray, retrieved_ids: np.ndarray) -> float:
     return len(truth & got) / len(truth)
 
 
-def workload_recall(stats, ground_truth: "list[np.ndarray]", k: int = 10) -> "tuple[float, np.ndarray]":
+def workload_recall(stats, ground_truth: list[np.ndarray], k: int = 10) -> tuple[float, np.ndarray]:
     """Mean recall over a workload (and the per-query vector).
 
     ``stats`` is the :class:`repro.sim.stats.StatsCollector` of the run;
@@ -57,27 +61,3 @@ def workload_recall(stats, ground_truth: "list[np.ndarray]", k: int = 10) -> "tu
     return float(per_query.mean()) if len(per_query) else 0.0, per_query
 
 
-def gini_coefficient(loads: np.ndarray) -> float:
-    """Gini coefficient of the load distribution (0 = even, →1 = concentrated)."""
-    x = np.sort(np.asarray(loads, dtype=np.float64))
-    n = len(x)
-    total = x.sum()
-    if n == 0 or total == 0:
-        return 0.0
-    cum = np.cumsum(x)
-    return float((n + 1 - 2 * (cum / total).sum()) / n)
-
-
-def load_summary(loads: np.ndarray) -> "dict[str, float]":
-    """Summary statistics of a per-node load vector (Figures 4 & 6)."""
-    loads = np.asarray(loads, dtype=np.float64)
-    if len(loads) == 0:
-        return {"max": 0.0, "mean": 0.0, "nonzero": 0.0, "gini": 0.0, "max_over_mean": 0.0}
-    mean = float(loads.mean())
-    return {
-        "max": float(loads.max()),
-        "mean": mean,
-        "nonzero": float(np.count_nonzero(loads)),
-        "gini": gini_coefficient(loads),
-        "max_over_mean": float(loads.max() / mean) if mean > 0 else 0.0,
-    }

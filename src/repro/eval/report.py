@@ -16,7 +16,7 @@ __all__ = [
 ]
 
 
-def format_table(headers: "list[str]", rows: "list[list]", title: str = "") -> str:
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
     """Plain fixed-width table."""
     cells = [[_fmt(v) for v in row] for row in rows]
     widths = [
@@ -58,7 +58,7 @@ SWEEP_METRICS = (
 )
 
 
-def format_sweep(result, metrics: "tuple[str, ...]" = SWEEP_METRICS) -> str:
+def format_sweep(result, metrics: tuple[str, ...] = SWEEP_METRICS) -> str:
     """Render an :class:`repro.eval.runner.ExperimentResult` sweep.
 
     One block per metric: rows are range factors, columns are schemes —
@@ -95,7 +95,7 @@ def format_load_distribution(result, top_n: int = 10) -> str:
     return format_table(headers, rows, title="[load distribution, sorted desc]")
 
 
-def format_dict(d: "dict", title: str = "") -> str:
+def format_dict(d: dict, title: str = "") -> str:
     """Key/value block."""
     lines = [title] if title else []
     width = max((len(k) for k in d), default=0)

@@ -66,13 +66,13 @@ class ExperimentConfig:
     n_queries: int = 200
     n_topics: int = 50  # trec only
     sample_size: int = 2000
-    schemes: "tuple[Scheme, ...]" = (
+    schemes: tuple[Scheme, ...] = (
         Scheme("Greedy-5", "greedy", 5),
         Scheme("Greedy-10", "greedy", 10),
         Scheme("Kmean-5", "kmeans", 5),
         Scheme("Kmean-10", "kmeans", 10),
     )
-    range_factors: "tuple[float, ...]" = (0.001, 0.005, 0.01, 0.02, 0.05, 0.10, 0.20)
+    range_factors: tuple[float, ...] = (0.001, 0.005, 0.01, 0.02, 0.05, 0.10, 0.20)
     load_balance: bool = False
     lb_delta: float = 0.0
     lb_probe_level: int = 4
@@ -93,11 +93,11 @@ class ExperimentConfig:
     corpus_scale: float = 0.1  # trec only: fraction of the full AP corpus
     #: Optional transport fault model (loss / jitter / partitions) applied to
     #: every message of every scheme run; None = the paper's fault-free runs.
-    faults: "FaultConfig | None" = None
+    faults: FaultConfig | None = None
     #: Optional lifecycle policy (per-query deadline, retransmission with
     #: exponential backoff).  Required for faulted runs to terminate with
     #: explicit per-query states instead of silently losing results.
-    policy: "RetryPolicy | None" = None
+    policy: RetryPolicy | None = None
     #: Pipelined batch execution (all queries of a sweep point in flight
     #: concurrently, harvested as they complete) versus the serial
     #: issue-and-drain baseline.  Identical per-query stats when faults are
@@ -110,10 +110,10 @@ class SchemeResult:
     """Sweep results for one landmark scheme."""
 
     scheme: Scheme
-    rows: "list[dict[str, float]]" = field(default_factory=list)
-    load_distribution: "np.ndarray | None" = None
-    load_stats: "dict[str, float]" = field(default_factory=dict)
-    lb_report: "LoadBalanceReport | None" = None
+    rows: list[dict[str, float]] = field(default_factory=list)
+    load_distribution: np.ndarray | None = None
+    load_stats: dict[str, float] = field(default_factory=dict)
+    lb_report: LoadBalanceReport | None = None
 
 
 @dataclass
@@ -121,7 +121,7 @@ class ExperimentResult:
     """All scheme sweeps of one experiment."""
 
     config: ExperimentConfig
-    schemes: "list[SchemeResult]" = field(default_factory=list)
+    schemes: list[SchemeResult] = field(default_factory=list)
 
     def scheme(self, label: str) -> SchemeResult:
         for s in self.schemes:
@@ -138,7 +138,7 @@ class DatasetBundle:
     metric: object
     query_objects: object  # indexable; one per workload query
     max_distance: float
-    ground_truth: "list[np.ndarray]"
+    ground_truth: list[np.ndarray]
     boundary: str
 
 
@@ -296,7 +296,7 @@ def run_scheme(
             platform.trace.close()
 
 
-def run_experiment(cfg: ExperimentConfig, bundle: "DatasetBundle | None" = None) -> ExperimentResult:
+def run_experiment(cfg: ExperimentConfig, bundle: DatasetBundle | None = None) -> ExperimentResult:
     """Run every scheme of ``cfg`` against one shared dataset bundle."""
     bundle = bundle or build_bundle(cfg)
     result = ExperimentResult(config=cfg)
@@ -315,9 +315,9 @@ class ReplicatedResult:
 
     config: ExperimentConfig
     n_seeds: int
-    runs: "list[ExperimentResult]" = field(default_factory=list)
-    mean: "dict[str, dict[str, np.ndarray]]" = field(default_factory=dict)
-    std: "dict[str, dict[str, np.ndarray]]" = field(default_factory=dict)
+    runs: list[ExperimentResult] = field(default_factory=list)
+    mean: dict[str, dict[str, np.ndarray]] = field(default_factory=dict)
+    std: dict[str, dict[str, np.ndarray]] = field(default_factory=dict)
 
 
 def run_replicated(cfg: ExperimentConfig, n_seeds: int = 3) -> ReplicatedResult:

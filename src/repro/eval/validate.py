@@ -20,8 +20,8 @@ __all__ = ["CheckResult", "self_check"]
 class CheckResult:
     """Outcome of the self-check battery."""
 
-    passed: "list[str]" = field(default_factory=list)
-    failed: "list[tuple[str, str]]" = field(default_factory=list)
+    passed: list[str] = field(default_factory=list)
+    failed: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -49,7 +49,7 @@ def self_check(seed: int = 0) -> CheckResult:
     result = CheckResult()
     rng = np.random.default_rng(seed)
 
-    def metric_axioms():
+    def metric_axioms() -> None:
         from repro.metric import (
             EuclideanMetric,
             JaccardMetric,
@@ -63,7 +63,7 @@ def self_check(seed: int = 0) -> CheckResult:
 
     _check(result, "metric axioms", metric_axioms)
 
-    def hash_roundtrip():
+    def hash_roundtrip() -> None:
         from repro.core.index_space import IndexSpaceBounds
         from repro.core.lph import key_to_cuboid, lp_hash, lp_hash_batch
 
@@ -77,7 +77,7 @@ def self_check(seed: int = 0) -> CheckResult:
 
     _check(result, "locality-preserving hash round trip", hash_roundtrip)
 
-    def routed_completeness():
+    def routed_completeness() -> None:
         from repro.core.platform import IndexPlatform
         from repro.dht.ring import ChordRing
         from repro.eval.ground_truth import exact_range
@@ -100,7 +100,7 @@ def self_check(seed: int = 0) -> CheckResult:
 
     _check(result, "routed range query == centralised scan", routed_completeness)
 
-    def chord_lookups():
+    def chord_lookups() -> None:
         from repro.dht.ring import ChordRing
 
         ring = ChordRing.build(40, m=20, seed=seed)
@@ -112,7 +112,7 @@ def self_check(seed: int = 0) -> CheckResult:
 
     _check(result, "Chord lookups reach oracle owners", chord_lookups)
 
-    def load_balance_conserves():
+    def load_balance_conserves() -> None:
         from repro.core.loadbalance import dynamic_load_migration
         from repro.core.platform import IndexPlatform
         from repro.dht.ring import ChordRing

@@ -15,7 +15,8 @@ document vector.
 from __future__ import annotations
 
 import math
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 from scipy import sparse
@@ -41,7 +42,7 @@ class AngularMetric(Metric):
 
     is_bounded = True
 
-    def __init__(self, nonnegative: bool = False):
+    def __init__(self, nonnegative: bool = False) -> None:
         self.nonnegative = nonnegative
         self.upper_bound = math.pi / 2 if nonnegative else math.pi
 

@@ -8,7 +8,8 @@ point).
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Sequence
+from collections.abc import Hashable, Sequence
+from typing import Any
 
 import numpy as np
 

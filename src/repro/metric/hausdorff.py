@@ -14,7 +14,7 @@ a metric.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -31,7 +31,7 @@ class HausdorffMetric(Metric):
     paper's metric-space boundary strategy.
     """
 
-    def __init__(self, box: "tuple[float, float] | None" = None, dim: "int | None" = None):
+    def __init__(self, box: tuple[float, float] | None = None, dim: int | None = None) -> None:
         self.box = box
         self.dim = dim
         if box is not None:

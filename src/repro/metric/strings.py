@@ -12,7 +12,7 @@ optimisation used when only distances ``<= r`` matter (range queries).
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from repro.metric.base import Metric
 __all__ = ["EditDistanceMetric", "HammingMetric", "edit_distance"]
 
 
-def edit_distance(a: str, b: str, cutoff: "int | None" = None) -> int:
+def edit_distance(a: str, b: str, cutoff: int | None = None) -> int:
     """Levenshtein distance between ``a`` and ``b``.
 
     With ``cutoff`` set, returns ``cutoff + 1`` as soon as the true distance
@@ -69,7 +69,7 @@ class EditDistanceMetric(Metric):
     farther than ``max_length`` apart).
     """
 
-    def __init__(self, max_length: "int | None" = None):
+    def __init__(self, max_length: int | None = None) -> None:
         self.max_length = max_length
         if max_length is not None:
             self.is_bounded = True
@@ -89,7 +89,7 @@ class EditDistanceMetric(Metric):
 class HammingMetric(Metric):
     """Hamming distance on equal-length strings (point substitutions only)."""
 
-    def __init__(self, length: "int | None" = None):
+    def __init__(self, length: int | None = None) -> None:
         self.length = length
         if length is not None:
             self.is_bounded = True

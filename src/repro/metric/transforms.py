@@ -8,7 +8,8 @@ directly, "while unbounded metrics can be adjusted using the formula
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -23,7 +24,7 @@ class BoundedMetric(Metric):
     is_bounded = True
     upper_bound = 1.0
 
-    def __init__(self, inner: Metric):
+    def __init__(self, inner: Metric) -> None:
         self.inner = inner
 
     def distance(self, x: Any, y: Any) -> float:
@@ -68,7 +69,7 @@ class ScaledMetric(Metric):
     comparable index-space extents.
     """
 
-    def __init__(self, inner: Metric, scale: float):
+    def __init__(self, inner: Metric, scale: float) -> None:
         if scale <= 0:
             raise ValueError("scale must be positive")
         self.inner = inner

@@ -12,7 +12,7 @@ single broadcasted NumPy expression.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -41,7 +41,7 @@ class MinkowskiMetric(Metric):
         ``sqrt(100 * (100 - 0)^2) = 1000``.
     """
 
-    def __init__(self, p: float, box: "tuple[float, float] | None" = None, dim: "int | None" = None):
+    def __init__(self, p: float, box: tuple[float, float] | None = None, dim: int | None = None) -> None:
         if p < 1:
             raise ValueError(f"Minkowski exponent must be >= 1, got {p}")
         self.p = float(p)
@@ -123,19 +123,19 @@ class MinkowskiMetric(Metric):
 class EuclideanMetric(MinkowskiMetric):
     """``L_2`` (Euclidean) distance — the paper's synthetic-dataset metric."""
 
-    def __init__(self, box: "tuple[float, float] | None" = None, dim: "int | None" = None):
+    def __init__(self, box: tuple[float, float] | None = None, dim: int | None = None) -> None:
         super().__init__(2.0, box=box, dim=dim)
 
 
 class ManhattanMetric(MinkowskiMetric):
     """``L_1`` (Hamilton / Manhattan) distance."""
 
-    def __init__(self, box: "tuple[float, float] | None" = None, dim: "int | None" = None):
+    def __init__(self, box: tuple[float, float] | None = None, dim: int | None = None) -> None:
         super().__init__(1.0, box=box, dim=dim)
 
 
 class ChebyshevMetric(MinkowskiMetric):
     """``L_inf`` (Chebyshev) distance."""
 
-    def __init__(self, box: "tuple[float, float] | None" = None, dim: "int | None" = None):
+    def __init__(self, box: tuple[float, float] | None = None, dim: int | None = None) -> None:
         super().__init__(math.inf, box=box, dim=dim)

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from typing import Any
 
-from .demo import run_demo
 from .export import (
     export_metrics,
     format_metrics_rows,
@@ -38,7 +37,9 @@ from .load import (
     STORED_ENTRIES_GAUGE,
     format_hotspot_report,
     gauge_vector,
+    gini_coefficient,
     hotspot_report,
+    load_summary,
     record_load_vector,
 )
 from .registry import (
@@ -76,13 +77,12 @@ __all__ = [
     # load
     "STORED_ENTRIES_GAUGE", "QUERY_HITS_GAUGE",
     "record_load_vector", "gauge_vector",
+    "gini_coefficient", "load_summary",
     "hotspot_report", "format_hotspot_report",
     # export
     "write_jsonl", "write_csv", "read_metrics_jsonl",
     "prometheus_text", "write_prometheus",
     "export_metrics", "format_metrics_table", "format_metrics_rows",
-    # demo
-    "run_demo",
 ]
 
 
@@ -103,12 +103,12 @@ class Observability:
         metrics: bool = True,
         tracing: bool = False,
         trace_path: Any = None,
-        span_sink: "SpanSink | None" = None,
+        span_sink: SpanSink | None = None,
         memory_spans: bool = True,
-    ):
+    ) -> None:
         self.registry: MetricsRegistry = MetricsRegistry() if metrics else NULL_REGISTRY
-        self.recorder: "SpanRecorder | None" = None
-        self.span_memory: "MemorySpanSink | None" = None
+        self.recorder: SpanRecorder | None = None
+        self.span_memory: MemorySpanSink | None = None
         if tracing or trace_path is not None or span_sink is not None:
             self.recorder = SpanRecorder()
             if memory_spans:
@@ -118,11 +118,11 @@ class Observability:
                 self.recorder.add_sink(JsonlSpanSink(trace_path))
             if span_sink is not None:
                 self.recorder.add_sink(span_sink)
-        self.samplers: "list[HealthSampler]" = []
+        self.samplers: list[HealthSampler] = []
         self._closed = False
 
     @classmethod
-    def disabled(cls) -> "Observability":
+    def disabled(cls) -> Observability:
         """Metrics off, tracing off — every instrument is a shared no-op."""
         return cls(metrics=False, tracing=False)
 
@@ -130,7 +130,7 @@ class Observability:
     def enabled(self) -> bool:
         return self.registry.enabled or self.recorder is not None
 
-    def bind(self, sim) -> "Observability":
+    def bind(self, sim) -> Observability:
         """Point the span clock (and future samplers) at this simulator."""
         if self.recorder is not None:
             self.recorder.bind(sim)
@@ -145,10 +145,10 @@ class Observability:
 
     # -- output ------------------------------------------------------------------
 
-    def metrics_snapshot(self) -> "list[dict]":
+    def metrics_snapshot(self) -> list[dict]:
         return self.registry.snapshot()
 
-    def spans_for(self, qid: int) -> "list[Span]":
+    def spans_for(self, qid: int) -> list[Span]:
         return self.span_memory.for_query(qid) if self.span_memory else []
 
     def span_tree(self, qid: int) -> SpanTree:
@@ -167,7 +167,7 @@ class Observability:
         if self.recorder is not None:
             self.recorder.close()
 
-    def __enter__(self) -> "Observability":
+    def __enter__(self) -> Observability:
         return self
 
     def __exit__(self, *exc) -> None:

@@ -31,7 +31,7 @@ _LABEL_UNSAFE = re.compile(r"[^a-zA-Z0-9_]")
 
 
 @contextmanager
-def _open_target(target: Any, newline: "str | None" = None):
+def _open_target(target: Any, newline: str | None = None):
     if hasattr(target, "write"):
         yield target
     else:
@@ -47,7 +47,7 @@ def _flatten(rec: dict) -> dict:
     return out
 
 
-def write_jsonl(rows: "list[dict]", target: Any) -> None:
+def write_jsonl(rows: list[dict], target: Any) -> None:
     """One JSON object per line; NaN encoded as null for portability."""
 
     def _clean(v):
@@ -59,10 +59,10 @@ def write_jsonl(rows: "list[dict]", target: Any) -> None:
                                 default=str) + "\n")
 
 
-def write_csv(rows: "list[dict]", target: Any) -> None:
+def write_csv(rows: list[dict], target: Any) -> None:
     """CSV over the union of keys (labels inlined as ``label_<name>``)."""
     flat = [_flatten(r) for r in rows]
-    fields: "list[str]" = []
+    fields: list[str] = []
     for r in flat:
         for k in r:
             if k not in fields:
@@ -73,7 +73,7 @@ def write_csv(rows: "list[dict]", target: Any) -> None:
         writer.writerows(flat)
 
 
-def read_metrics_jsonl(target: Any) -> "list[dict]":
+def read_metrics_jsonl(target: Any) -> list[dict]:
     """Load snapshot rows back from a JSONL file (inverse of ``write_jsonl``).
 
     JSON has no NaN, so ``write_jsonl`` stores it as null; restore the NaN
@@ -96,7 +96,7 @@ def read_metrics_jsonl(target: Any) -> "list[dict]":
     return rows
 
 
-def _fmt_labels(labels: "dict[str, str]", extra: "dict[str, str] | None" = None) -> str:
+def _fmt_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
     merged = dict(labels)
     if extra:
         merged.update(extra)
@@ -121,7 +121,7 @@ def prometheus_text(registry) -> str:
     rather than raw buckets, which is what the CLI and artifacts want.
     """
     buf = io.StringIO()
-    seen: "set[str]" = set()
+    seen: set[str] = set()
     for rec in registry.snapshot():
         name = rec["name"]
         if name not in seen:
@@ -161,14 +161,14 @@ def export_metrics(registry, target: Any, fmt: str = "jsonl") -> None:
         raise ValueError(f"unknown metrics format {fmt!r}")
 
 
-def format_metrics_rows(records: "list[dict]", prefix: str = "") -> str:
+def format_metrics_rows(records: list[dict], prefix: str = "") -> str:
     """Aligned plain-text summary of snapshot rows (live or reloaded).
 
     ``records`` come from :meth:`MetricsRegistry.snapshot` or from a JSONL
     file via :func:`read_metrics_jsonl` — the same table either way, which is
     how ``repro metrics`` renders recorded artifacts.
     """
-    rows: "list[tuple[str, str]]" = []
+    rows: list[tuple[str, str]] = []
     for rec in records:
         if prefix and not rec["name"].startswith(prefix):
             continue

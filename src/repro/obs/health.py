@@ -22,7 +22,8 @@ same exporters serve both one-shot metrics and the time series.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 import numpy as np
 
@@ -40,8 +41,8 @@ class HealthSample:
     in_flight_branches: int = 0
     live_nodes: int = 0
     total_nodes: int = 0
-    load_deciles: "list[float]" = field(default_factory=list)
-    extra: "dict[str, float]" = field(default_factory=dict)
+    load_deciles: list[float] = field(default_factory=list)
+    extra: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -67,10 +68,10 @@ class HealthSampler:
         *,
         engine=None,
         ring=None,
-        load_fn: "Callable[[], Any] | None" = None,
+        load_fn: Callable[[], Any] | None = None,
         registry=None,
-        probes: "dict[str, Callable[[], float]] | None" = None,
-    ):
+        probes: dict[str, Callable[[], float]] | None = None,
+    ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
         self.sim = sim
@@ -80,9 +81,9 @@ class HealthSampler:
         self.load_fn = load_fn
         self.registry = registry
         self.probes = dict(probes or {})
-        self.samples: "list[HealthSample]" = []
+        self.samples: list[HealthSample] = []
         self._running = False
-        self._until: "float | None" = None
+        self._until: float | None = None
         if registry is not None and registry.enabled:
             self._g_queue = registry.gauge(
                 "health_event_queue_depth", "Pending simulator events at last sample")
@@ -100,7 +101,7 @@ class HealthSampler:
 
     # -- scheduling -------------------------------------------------------------
 
-    def start(self, duration: "float | None" = None) -> "HealthSampler":
+    def start(self, duration: float | None = None) -> HealthSampler:
         """Begin sampling; stops after ``duration`` simulated seconds if given."""
         if self._running:
             return self
@@ -171,10 +172,10 @@ class HealthSampler:
 
     # -- output -----------------------------------------------------------------
 
-    def to_dicts(self) -> "list[dict]":
+    def to_dicts(self) -> list[dict]:
         return [s.to_dict() for s in self.samples]
 
-    def series(self, field_: str) -> "tuple[list[float], list[float]]":
+    def series(self, field_: str) -> tuple[list[float], list[float]]:
         """``(times, values)`` for one scalar sample field (plot-friendly)."""
         times = [s.time for s in self.samples]
         vals = [float(getattr(s, field_)) for s in self.samples]

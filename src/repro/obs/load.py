@@ -13,11 +13,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.eval.metrics import load_summary
-
 __all__ = [
     "STORED_ENTRIES_GAUGE",
     "QUERY_HITS_GAUGE",
+    "gini_coefficient",
+    "load_summary",
     "record_load_vector",
     "gauge_vector",
     "hotspot_report",
@@ -28,9 +28,35 @@ STORED_ENTRIES_GAUGE = "node_stored_entries"
 QUERY_HITS_GAUGE = "node_query_hits"
 
 
+def gini_coefficient(loads: np.ndarray) -> float:
+    """Gini coefficient of the load distribution (0 = even, →1 = concentrated)."""
+    x = np.sort(np.asarray(loads, dtype=np.float64))
+    n = len(x)
+    total = x.sum()
+    if n == 0 or total == 0:
+        return 0.0
+    cum = np.cumsum(x)
+    return float((n + 1 - 2 * (cum / total).sum()) / n)
+
+
+def load_summary(loads: np.ndarray) -> dict[str, float]:
+    """Summary statistics of a per-node load vector (Figures 4 & 6)."""
+    loads = np.asarray(loads, dtype=np.float64)
+    if len(loads) == 0:
+        return {"max": 0.0, "mean": 0.0, "nonzero": 0.0, "gini": 0.0, "max_over_mean": 0.0}
+    mean = float(loads.mean())
+    return {
+        "max": float(loads.max()),
+        "mean": mean,
+        "nonzero": float(np.count_nonzero(loads)),
+        "gini": gini_coefficient(loads),
+        "max_over_mean": float(loads.max() / mean) if mean > 0 else 0.0,
+    }
+
+
 def record_load_vector(registry, loads, metric: str = STORED_ENTRIES_GAUGE,
-                       extra_labels: "tuple[str, ...]" = (),
-                       extra_values: "tuple[str, ...]" = ()) -> None:
+                       extra_labels: tuple[str, ...] = (),
+                       extra_values: tuple[str, ...] = ()) -> None:
     """Set one gauge sample per node position from a load vector.
 
     ``extra_labels``/``extra_values`` let callers partition the gauge (e.g.
@@ -43,7 +69,7 @@ def record_load_vector(registry, loads, metric: str = STORED_ENTRIES_GAUGE,
 
 
 def gauge_vector(registry, metric: str = STORED_ENTRIES_GAUGE,
-                 match: "dict[str, str] | None" = None) -> np.ndarray:
+                 match: dict[str, str] | None = None) -> np.ndarray:
     """Read a per-node gauge back as a vector ordered by the ``pos`` label.
 
     ``match`` filters on other label values (e.g. ``{"scheme": "scrap"}``).
@@ -54,7 +80,7 @@ def gauge_vector(registry, metric: str = STORED_ENTRIES_GAUGE,
         return np.empty(0, dtype=float)
     idx = {name: i for i, name in enumerate(gauge.labelnames)}
     pos_i = idx.get("pos")
-    out: "list[tuple[int, float]]" = []
+    out: list[tuple[int, float]] = []
     for labels, value in gauge.samples():
         if match and any(labels[idx[k]] != v for k, v in match.items() if k in idx):
             continue

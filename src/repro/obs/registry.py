@@ -65,7 +65,7 @@ class _Instrument:
 
     kind = "untyped"
 
-    def __init__(self, name: str, help: str = "", labelnames: "tuple[str, ...]" = ()):
+    def __init__(self, name: str, help: str = "", labelnames: tuple[str, ...] = ()) -> None:
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
@@ -80,7 +80,7 @@ class _Instrument:
             )
         return labels
 
-    def samples(self) -> "list[tuple[tuple, object]]":
+    def samples(self) -> list[tuple[tuple, object]]:
         """All (label-values, value) pairs, sorted for stable export order."""
         return sorted(self.values.items(), key=lambda kv: kv[0])
 
@@ -132,12 +132,12 @@ class _HistState:
 
     __slots__ = ("counts", "sum", "count", "sample", "_rng")
 
-    def __init__(self, n_buckets: int, reservoir: int, seed: int):
+    def __init__(self, n_buckets: int, reservoir: int, seed: int) -> None:
         self.counts = [0] * (n_buckets + 1)  # +1 for the +inf bucket
         self.sum = 0.0
         self.count = 0
         # sorted bounded sample for exact-over-sample percentiles
-        self.sample: "list[float] | None" = [] if reservoir else None
+        self.sample: list[float] | None = [] if reservoir else None
         self._rng = random.Random(seed) if reservoir else None
 
 
@@ -156,10 +156,10 @@ class Histogram(_Instrument):
         self,
         name: str,
         help: str = "",
-        labelnames: "tuple[str, ...]" = (),
-        buckets: "tuple[float, ...]" = DEFAULT_LATENCY_BUCKETS,
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
         reservoir: int = 0,
-    ):
+    ) -> None:
         super().__init__(name, help, labelnames)
         bs = tuple(sorted(float(b) for b in buckets))
         if not bs:
@@ -242,7 +242,7 @@ class Histogram(_Instrument):
                 return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
         return self.buckets[-1]
 
-    def snapshot(self, labels: tuple = ()) -> "dict[str, float]":
+    def snapshot(self, labels: tuple = ()) -> dict[str, float]:
         """count/sum/p50/p90/p99 of one labelset (the exporters' unit)."""
         return {
             "count": float(self.count(labels)),
@@ -264,8 +264,8 @@ class MetricsRegistry:
 
     enabled = True
 
-    def __init__(self):
-        self._metrics: "dict[str, _Instrument]" = {}
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Instrument] = {}
 
     def _get_or_create(self, cls, name: str, help: str, labelnames, **kwargs):
         inst = self._metrics.get(name)
@@ -295,17 +295,17 @@ class MetricsRegistry:
         name: str,
         help: str = "",
         labelnames=(),
-        buckets: "tuple[float, ...]" = DEFAULT_LATENCY_BUCKETS,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
         reservoir: int = 0,
     ) -> Histogram:
         return self._get_or_create(
             Histogram, name, help, labelnames, buckets=buckets, reservoir=reservoir
         )
 
-    def get(self, name: str) -> "_Instrument | None":
+    def get(self, name: str) -> _Instrument | None:
         return self._metrics.get(name)
 
-    def collect(self) -> "list[_Instrument]":
+    def collect(self) -> list[_Instrument]:
         """All instruments in registration order."""
         return list(self._metrics.values())
 
@@ -315,13 +315,13 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def snapshot(self) -> "list[dict]":
+    def snapshot(self) -> list[dict]:
         """Flat sample records — the exporters' common input.
 
         One dict per (metric, labelset): counters and gauges carry
         ``value``; histograms carry ``count``/``sum``/``p50``/``p90``/``p99``.
         """
-        out: "list[dict]" = []
+        out: list[dict] = []
         for inst in self.collect():
             for labels, _ in inst.samples():
                 rec = {
@@ -341,19 +341,19 @@ class MetricsRegistry:
 class _NullInstrument:
     """Accepts every instrument method as a no-op."""
 
-    def inc(self, labels=(), amount=1.0):
+    def inc(self, labels=(), amount=1.0) -> None:
         pass
 
-    def add(self, amount, labels=()):
+    def add(self, amount, labels=()) -> None:
         pass
 
-    def dec(self, labels=(), amount=1.0):
+    def dec(self, labels=(), amount=1.0) -> None:
         pass
 
-    def set(self, value, labels=()):
+    def set(self, value, labels=()) -> None:
         pass
 
-    def observe(self, value, labels=()):
+    def observe(self, value, labels=()) -> None:
         pass
 
     def value(self, labels=()):
@@ -394,7 +394,7 @@ class NullRegistry(MetricsRegistry):
 
     enabled = False
 
-    def __init__(self):
+    def __init__(self) -> None:
         super().__init__()
 
     def counter(self, name: str, help: str = "", labelnames=()):
@@ -406,7 +406,7 @@ class NullRegistry(MetricsRegistry):
     def histogram(self, name, help="", labelnames=(), buckets=DEFAULT_LATENCY_BUCKETS, reservoir=0):
         return _NULL_INSTRUMENT
 
-    def snapshot(self) -> "list[dict]":
+    def snapshot(self) -> list[dict]:
         return []
 
 

@@ -55,17 +55,17 @@ class Span:
     """
 
     sid: int
-    qid: "int | None"
+    qid: int | None
     kind: str
-    parent: "int | None" = None
-    node: "int | None" = None
+    parent: int | None = None
+    node: int | None = None
     start: float = 0.0
-    end: "float | None" = None
+    end: float | None = None
     status: str = "ok"
-    attrs: "dict[str, Any]" = field(default_factory=dict)
+    attrs: dict[str, Any] = field(default_factory=dict)
 
     @property
-    def duration(self) -> "float | None":
+    def duration(self) -> float | None:
         return None if self.end is None else self.end - self.start
 
     def to_dict(self) -> dict:
@@ -91,8 +91,8 @@ class SpanSink:
 class MemorySpanSink(SpanSink):
     """Keeps spans in a list, with the filters tests and the CLI want."""
 
-    def __init__(self):
-        self.records: "list[Span]" = []
+    def __init__(self) -> None:
+        self.records: list[Span] = []
 
     def record(self, span: Span) -> None:
         self.records.append(span)
@@ -100,13 +100,13 @@ class MemorySpanSink(SpanSink):
     def __len__(self) -> int:
         return len(self.records)
 
-    def for_query(self, qid: int) -> "list[Span]":
+    def for_query(self, qid: int) -> list[Span]:
         return [s for s in self.records if s.qid == qid]
 
-    def by_kind(self, kind: str) -> "list[Span]":
+    def by_kind(self, kind: str) -> list[Span]:
         return [s for s in self.records if s.kind == kind]
 
-    def qids(self) -> "set[int]":
+    def qids(self) -> set[int]:
         return {s.qid for s in self.records if s.qid is not None}
 
 
@@ -118,7 +118,7 @@ class JsonlSpanSink(SpanSink):
     complete file even when the body raises.
     """
 
-    def __init__(self, target: Any):
+    def __init__(self, target: Any) -> None:
         if hasattr(target, "write"):
             self._fh = target
             self._owns = False
@@ -150,15 +150,15 @@ class SpanRecorder:
     ``end=None``) so an aborted run still leaves a readable stream.
     """
 
-    def __init__(self, *sinks: SpanSink):
-        self.sinks: "list[SpanSink]" = list(sinks)
+    def __init__(self, *sinks: SpanSink) -> None:
+        self.sinks: list[SpanSink] = list(sinks)
         self._sim = None
         self._next_sid = 0
-        self._stack: "list[int]" = []
+        self._stack: list[int] = []
         #: open per-query root spans, finished by the lifecycle engine
-        self._query_roots: "dict[int, Span]" = {}
+        self._query_roots: dict[int, Span] = {}
         #: other open interval spans
-        self._open: "dict[int, Span]" = {}
+        self._open: dict[int, Span] = {}
 
     # -- wiring ----------------------------------------------------------------
 
@@ -180,10 +180,10 @@ class SpanRecorder:
     def pop(self) -> None:
         self._stack.pop()
 
-    def current(self) -> "int | None":
+    def current(self) -> int | None:
         return self._stack[-1] if self._stack else None
 
-    def context(self, qid: "int | None") -> "int | None":
+    def context(self, qid: int | None) -> int | None:
         """The parent for a new span: the stack top, else the query root."""
         if self._stack:
             return self._stack[-1]
@@ -203,10 +203,10 @@ class SpanRecorder:
 
     def event(
         self,
-        qid: "int | None",
+        qid: int | None,
         kind: str,
-        parent: "int | None" = None,
-        node: "int | None" = None,
+        parent: int | None = None,
+        node: int | None = None,
         status: str = "ok",
         **attrs: Any,
     ) -> int:
@@ -222,10 +222,10 @@ class SpanRecorder:
 
     def begin(
         self,
-        qid: "int | None",
+        qid: int | None,
         kind: str,
-        parent: "int | None" = None,
-        node: "int | None" = None,
+        parent: int | None = None,
+        node: int | None = None,
         **attrs: Any,
     ) -> Span:
         """Open an interval span (emitted when finished or flushed)."""
@@ -257,7 +257,7 @@ class SpanRecorder:
             self._query_roots[qid] = root
         return root
 
-    def root_sid(self, qid: int) -> "int | None":
+    def root_sid(self, qid: int) -> int | None:
         root = self._query_roots.get(qid)
         return root.sid if root is not None else None
 
@@ -295,19 +295,19 @@ class SpanRecorder:
 class SpanTree:
     """Parent/child reconstruction of one query's spans, with ASCII render."""
 
-    def __init__(self, spans: "list[Span]"):
+    def __init__(self, spans: list[Span]) -> None:
         self.spans = sorted(spans, key=lambda s: (s.start, s.sid))
         self.by_sid = {s.sid: s for s in self.spans}
-        self.children: "dict[int | None, list[Span]]" = {}
+        self.children: dict[int | None, list[Span]] = {}
         for s in self.spans:
             parent = s.parent if s.parent in self.by_sid else None
             self.children.setdefault(parent, []).append(s)
 
     @classmethod
-    def from_records(cls, records, qid: "int | None" = None) -> "SpanTree":
+    def from_records(cls, records, qid: int | None = None) -> SpanTree:
         """Build from Span objects or JSONL dicts; later duplicate sids win
         (an interval span flushed open and later finished)."""
-        merged: "dict[int, Span]" = {}
+        merged: dict[int, Span] = {}
         for r in records:
             span = r if isinstance(r, Span) else Span(**r)
             if qid is not None and span.qid != qid:
@@ -316,18 +316,18 @@ class SpanTree:
         return cls(list(merged.values()))
 
     @classmethod
-    def from_jsonl(cls, path, qid: "int | None" = None) -> "SpanTree":
+    def from_jsonl(cls, path, qid: int | None = None) -> SpanTree:
         with open(path) as fh:
             records = [json.loads(line) for line in fh if line.strip()]
         return cls.from_records(records, qid=qid)
 
-    def roots(self) -> "list[Span]":
+    def roots(self) -> list[Span]:
         return self.children.get(None, [])
 
-    def of_kind(self, kind: str) -> "list[Span]":
+    def of_kind(self, kind: str) -> list[Span]:
         return [s for s in self.spans if s.kind == kind]
 
-    def leaves(self) -> "list[Span]":
+    def leaves(self) -> list[Span]:
         return [s for s in self.spans if s.sid not in self.children]
 
     def __len__(self) -> int:
@@ -357,7 +357,7 @@ class SpanTree:
 
     def render(self, max_spans: int = 400) -> str:
         """Indented ASCII tree (the ``repro trace <qid>`` output)."""
-        lines: "list[str]" = []
+        lines: list[str] = []
 
         def walk(span: Span, prefix: str, last: bool) -> None:
             if len(lines) >= max_spans:
@@ -383,7 +383,7 @@ class SpanTree:
         return "\n".join(lines)
 
 
-def reconcile_with_stats(spans: "list[Span]", qstats) -> "list[str]":
+def reconcile_with_stats(spans: list[Span], qstats) -> list[str]:
     """Cross-check one query's span stream against its stats counters.
 
     The span tree and :class:`repro.sim.stats.QueryStats` are filled by
@@ -406,7 +406,7 @@ def reconcile_with_stats(spans: "list[Span]", qstats) -> "list[str]":
     retries = sum(
         1 for s in spans if s.kind == "send" and s.attrs.get("attempt", 1) > 1
     )
-    problems: "list[str]" = []
+    problems: list[str] = []
     if sends != qstats.query_messages:
         problems.append(
             f"{sends} charged send spans vs query_messages={qstats.query_messages}"
@@ -426,7 +426,7 @@ def reconcile_with_stats(spans: "list[Span]", qstats) -> "list[str]":
     return problems
 
 
-def spans_from_query_trace(qtrace, recorder: "SpanRecorder | None" = None) -> "list[Span]":
+def spans_from_query_trace(qtrace, recorder: SpanRecorder | None = None) -> list[Span]:
     """Convert a :class:`repro.core.trace.QueryTrace` into span records.
 
     The legacy tracer keeps a flat event list without parent links; the
@@ -435,7 +435,7 @@ def spans_from_query_trace(qtrace, recorder: "SpanRecorder | None" = None) -> "l
     preserved in ``attrs``).  When ``recorder`` is given the spans are also
     emitted through it.
     """
-    spans: "list[Span]" = []
+    spans: list[Span] = []
     root = Span(sid=-1, qid=qtrace.qid, kind="query", start=0.0, status="legacy")
     if qtrace.events:
         root.start = qtrace.events[0].time

@@ -13,7 +13,8 @@ import heapq
 import itertools
 import struct
 import zlib
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 __all__ = ["Simulator"]
 
@@ -34,7 +35,7 @@ class Simulator:
     1.5
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._queue: list = []
         self._seq = itertools.count()
         self.now: float = 0.0
@@ -67,7 +68,7 @@ class Simulator:
         """Number of events still queued."""
         return len(self._queue)
 
-    def run(self, until: "float | None" = None, max_events: "int | None" = None) -> None:
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Drain the queue, advancing :attr:`now`.
 
         ``until`` stops before any event later than the given time (that

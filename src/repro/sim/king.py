@@ -36,7 +36,7 @@ KING_MEAN_RTT = 0.180
 def synthetic_king_matrix(
     n_hosts: int = KING_N_HOSTS,
     mean_rtt: float = KING_MEAN_RTT,
-    seed: "int | np.random.Generator | None" = 0,
+    seed: int | np.random.Generator | None = 0,
     jitter_sigma: float = 0.35,
     floor: float = 0.002,
 ) -> np.ndarray:
@@ -70,7 +70,7 @@ def synthetic_king_matrix(
 def king_latency_model(
     n_hosts: int = KING_N_HOSTS,
     mean_rtt: float = KING_MEAN_RTT,
-    seed: "int | np.random.Generator | None" = 0,
+    seed: int | np.random.Generator | None = 0,
 ) -> MatrixLatency:
     """A :class:`MatrixLatency` over a synthetic King-like matrix."""
     return MatrixLatency(synthetic_king_matrix(n_hosts, mean_rtt, seed))

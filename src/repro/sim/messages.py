@@ -17,16 +17,40 @@ hop; the routing layer groups them into a single message, which is what the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Sequence
+from dataclasses import dataclass, field, fields, is_dataclass
+from collections.abc import Sequence
+from typing import Any, TypeVar
 
 __all__ = [
     "query_message_size",
     "result_message_size",
+    "register_message",
+    "message_schema",
     "QueryMessage",
     "ResultMessage",
     "ResultEntry",
 ]
+
+_T = TypeVar("_T")
+
+#: trace schema: message class name -> tuple of its dataclass field names.
+#: Trace consumers (replay diffing, span reconciliation, dashboards) treat
+#: this as the exhaustive catalogue of what can appear on the wire; the
+#: CON302 lint rule enforces that every `*Message` dataclass registers.
+_MESSAGE_SCHEMA: dict[str, tuple[str, ...]] = {}
+
+
+def register_message(cls: type[_T]) -> type[_T]:
+    """Class decorator adding a message dataclass to the trace schema."""
+    if not is_dataclass(cls):
+        raise TypeError(f"{cls.__name__} must be a dataclass to register")
+    _MESSAGE_SCHEMA[cls.__name__] = tuple(f.name for f in fields(cls))
+    return cls
+
+
+def message_schema() -> dict[str, tuple[str, ...]]:
+    """Snapshot of the registered message trace schema (name -> fields)."""
+    return dict(_MESSAGE_SCHEMA)
 
 PACKET_HEADER_BYTES = 20
 SOURCE_IP_BYTES = 4
@@ -55,6 +79,7 @@ class ResultEntry:
     distance: float
 
 
+@register_message
 @dataclass
 class QueryMessage:
     """A bundle of subqueries of one original query travelling one DHT link.
@@ -76,12 +101,13 @@ class QueryMessage:
         return query_message_size(len(self.subqueries), self.k)
 
 
+@register_message
 @dataclass
 class ResultMessage:
     """Results flowing from an index node back to the querying node."""
 
     qid: int
-    entries: "list[ResultEntry]" = field(default_factory=list)
+    entries: list[ResultEntry] = field(default_factory=list)
     from_node: Any = None
 
     @property

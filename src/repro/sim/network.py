@@ -54,7 +54,7 @@ class LatencyModel:
 class ConstantLatency(LatencyModel):
     """Every distinct pair of hosts is ``delay`` seconds apart (tests, analytics)."""
 
-    def __init__(self, n_hosts: int, delay: float = 0.045):
+    def __init__(self, n_hosts: int, delay: float = 0.045) -> None:
         self.n_hosts = n_hosts
         self.delay = float(delay)
 
@@ -65,7 +65,7 @@ class ConstantLatency(LatencyModel):
 class MatrixLatency(LatencyModel):
     """Latency looked up in an explicit ``(n, n)`` one-way delay matrix."""
 
-    def __init__(self, matrix: np.ndarray):
+    def __init__(self, matrix: np.ndarray) -> None:
         matrix = np.asarray(matrix, dtype=np.float64)
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
             raise ValueError("latency matrix must be square")
@@ -89,7 +89,7 @@ class EuclideanLatency(LatencyModel):
     processing delay.
     """
 
-    def __init__(self, coords: np.ndarray, seconds_per_unit: float, base: float = 0.0):
+    def __init__(self, coords: np.ndarray, seconds_per_unit: float, base: float = 0.0) -> None:
         self.coords = np.asarray(coords, dtype=np.float64)
         if self.coords.ndim != 2:
             raise ValueError("coords must be (n_hosts, dim)")

@@ -31,8 +31,8 @@ class QueryStats:
 
     qid: int
     issued_at: float = 0.0
-    first_result_at: "float | None" = None
-    last_result_at: "float | None" = None
+    first_result_at: float | None = None
+    last_result_at: float | None = None
     max_hops: int = 0
     query_bytes: int = 0
     result_bytes: int = 0
@@ -46,7 +46,7 @@ class QueryStats:
     #: otherwise issued/routing/resolving/complete/timed_out)
     state: str = "untracked"
     #: simulation time the query reached a terminal state (engine-tracked)
-    completed_at: "float | None" = None
+    completed_at: float | None = None
     #: message branches re-sent by the lifecycle engine (retries are real
     #: traffic: their bytes land in query_bytes like any other send)
     retransmissions: int = 0
@@ -61,14 +61,14 @@ class QueryStats:
         return self.state in ("complete", "timed_out")
 
     @property
-    def response_time(self) -> "float | None":
+    def response_time(self) -> float | None:
         """Time to first result, or None if nothing ever came back."""
         if self.first_result_at is None:
             return None
         return self.first_result_at - self.issued_at
 
     @property
-    def max_latency(self) -> "float | None":
+    def max_latency(self) -> float | None:
         """Time to last result, or None if nothing ever came back."""
         if self.last_result_at is None:
             return None
@@ -107,8 +107,8 @@ class StatsCollector:
     the background cost of keeping the overlay alive (Fig. 3/5).
     """
 
-    def __init__(self):
-        self.queries: "dict[int, QueryStats]" = {}
+    def __init__(self) -> None:
+        self.queries: dict[int, QueryStats] = {}
         self.maintenance_bytes: int = 0
         self.maintenance_messages: int = 0
 
@@ -162,9 +162,9 @@ class StatsCollector:
             return 0.0
         return float(np.mean([len(q.index_nodes) for q in self.queries.values()]))
 
-    def state_counts(self) -> "dict[str, int]":
+    def state_counts(self) -> dict[str, int]:
         """Queries per lifecycle state (``{"complete": 48, "timed_out": 2}``)."""
-        out: "dict[str, int]" = {}
+        out: dict[str, int] = {}
         for qs in self.queries.values():
             out[qs.state] = out.get(qs.state, 0) + 1
         return out
@@ -175,7 +175,7 @@ class StatsCollector:
     def total_timed_out(self) -> int:
         return sum(1 for qs in self.queries.values() if qs.state == "timed_out")
 
-    def summary(self) -> "dict[str, float]":
+    def summary(self) -> dict[str, float]:
         """All aggregate metrics as a flat dict (one row of a results table)."""
         return {
             "queries": float(len(self.queries)),

@@ -34,7 +34,8 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.sim.engine import Simulator
 from repro.util.rng import spawn_rngs
@@ -82,10 +83,10 @@ class FaultConfig:
 
     loss_rate: float = 0.0
     jitter: float = 0.0
-    partitions: "tuple[frozenset[int], ...]" = ()
+    partitions: tuple[frozenset[int], ...] = ()
     seed: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0.0 <= self.loss_rate <= 1.0:
             raise ValueError(f"loss_rate must be in [0, 1], got {self.loss_rate}")
         if self.jitter < 0:
@@ -159,9 +160,9 @@ class MessageTrace:
     dst_host: int
     size: int
     sent_at: float
-    arrived_at: "float | None" = None
+    arrived_at: float | None = None
     status: str = "sent"
-    qid: "int | None" = None
+    qid: int | None = None
     attempt: int = 1
 
 
@@ -176,7 +177,7 @@ class TimerHandle:
 
     __slots__ = ("_fn", "_args", "_done")
 
-    def __init__(self, fn: Callable, args: "tuple[Any, ...]"):
+    def __init__(self, fn: Callable, args: tuple[Any, ...]) -> None:
         self._fn = fn
         self._args = args
         self._done = False
@@ -223,8 +224,8 @@ class TraceSink:
 class MemoryTraceSink(TraceSink):
     """Keeps traces in a list, with the filters tests and notebooks want."""
 
-    def __init__(self):
-        self.records: "list[MessageTrace]" = []
+    def __init__(self) -> None:
+        self.records: list[MessageTrace] = []
 
     def record(self, trace: MessageTrace) -> None:
         self.records.append(trace)
@@ -232,16 +233,16 @@ class MemoryTraceSink(TraceSink):
     def __len__(self) -> int:
         return len(self.records)
 
-    def by_kind(self, kind: str) -> "list[MessageTrace]":
+    def by_kind(self, kind: str) -> list[MessageTrace]:
         return [t for t in self.records if t.kind == kind]
 
-    def by_status(self, status: str) -> "list[MessageTrace]":
+    def by_status(self, status: str) -> list[MessageTrace]:
         return [t for t in self.records if t.status == status]
 
-    def dropped(self) -> "list[MessageTrace]":
+    def dropped(self) -> list[MessageTrace]:
         return [t for t in self.records if t.status.startswith("dropped")]
 
-    def for_query(self, qid: int) -> "list[MessageTrace]":
+    def for_query(self, qid: int) -> list[MessageTrace]:
         return [t for t in self.records if t.qid == qid]
 
 
@@ -252,7 +253,7 @@ class JsonlTraceSink(TraceSink):
     file-like ``target`` is flushed but left open (the caller owns it).
     """
 
-    def __init__(self, target: Any):
+    def __init__(self, target: Any) -> None:
         if hasattr(target, "write"):
             self._fh = target
             self._owns = False
@@ -295,12 +296,12 @@ class Transport:
 
     def __init__(
         self,
-        sim: "Simulator | None" = None,
+        sim: Simulator | None = None,
         latency=None,
-        faults: "FaultConfig | None" = None,
-        trace: "TraceSink | None" = None,
+        faults: FaultConfig | None = None,
+        trace: TraceSink | None = None,
         metrics=None,
-    ):
+    ) -> None:
         self.sim = sim if sim is not None else Simulator()
         self.latency = latency
         self.faults = faults if faults is not None else FaultConfig()
@@ -314,8 +315,8 @@ class Transport:
         #: ``("jitter", j)`` per jitter delay.  Deterministic replay compares
         #: the logs of two runs to prove the fault streams were consumed
         #: identically (see :mod:`repro.check.replay`).
-        self.draw_log: "list[tuple[str, float]] | None" = None
-        self._partition_of: "dict[int, int]" = {}
+        self.draw_log: list[tuple[str, float]] | None = None
+        self._partition_of: dict[int, int] = {}
         for gi, group in enumerate(self.faults.partitions):
             for host in group:
                 self._partition_of[host] = gi
@@ -395,9 +396,9 @@ class Transport:
         *args: Any,
         kind: str = "message",
         size: int = 0,
-        qid: "int | None" = None,
+        qid: int | None = None,
         attempt: int = 1,
-        on_drop: "Callable[[MessageTrace], None] | None" = None,
+        on_drop: Callable[[MessageTrace], None] | None = None,
     ) -> bool:
         """Deliver ``handler(*args)`` at ``dst`` after the network delay.
 
@@ -538,12 +539,12 @@ class Protocol:
 
     def __init__(
         self,
-        sim: "Simulator | None" = None,
+        sim: Simulator | None = None,
         stats=None,
         latency=None,
-        transport: "Transport | None" = None,
+        transport: Transport | None = None,
         maintenance=None,
-    ):
+    ) -> None:
         if transport is None:
             transport = Transport(sim=sim, latency=latency)
         self.transport = transport

@@ -16,7 +16,7 @@ __all__ = ["as_rng", "derive_rng", "spawn_rngs"]
 SeedLike = "int | np.random.Generator | None"
 
 
-def as_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     """Normalise ``seed`` into a :class:`numpy.random.Generator`.
 
     ``None`` yields a fresh nondeterministic generator; an integer is used as
@@ -41,7 +41,7 @@ def derive_rng(rng: np.random.Generator, label: str) -> np.random.Generator:
     return np.random.default_rng(np.random.SeedSequence(entropy=mix))
 
 
-def spawn_rngs(seed: "int | np.random.Generator | None", n: int) -> list[np.random.Generator]:
+def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
     """Spawn ``n`` statistically independent generators from one seed."""
     ss = np.random.SeedSequence(seed if isinstance(seed, int) else None)
     return [np.random.default_rng(child) for child in ss.spawn(n)]

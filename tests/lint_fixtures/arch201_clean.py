@@ -1,0 +1,8 @@
+# lint-fixture-module: repro.core.fixture_goodlayer
+"""ARCH201 clean twin: core importing the metric layer below it."""
+
+from repro.metric.base import Metric
+
+
+def metric_name(metric: Metric) -> str:
+    return metric.name

@@ -1,0 +1,8 @@
+# lint-fixture-module: repro.metric.fixture_badlayer
+"""ARCH201 trip: the metric layer imports the core layer above it."""
+
+from repro.core.query import RangeQuery  # ARCH201: metric may only use util
+
+
+def radius_of(query: RangeQuery) -> float:
+    return query.radius

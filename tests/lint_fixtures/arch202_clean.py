@@ -1,0 +1,6 @@
+# lint-fixture-module: repro.core.fixture_goodsched
+"""ARCH202 clean twin: local timers go through the transport."""
+
+
+def arm_timeout(transport, deadline: float, callback):
+    return transport.timer_cancelable(deadline, callback)

@@ -1,0 +1,6 @@
+# lint-fixture-module: repro.core.fixture_badsched
+"""ARCH202 trip: protocol code touching the event queue directly."""
+
+
+def arm_timeout(sim, deadline: float, callback) -> None:
+    sim.schedule_in(deadline, callback)  # ARCH202: bypasses the transport

@@ -1,0 +1,8 @@
+# lint-fixture-module: repro.core.fixture_goodengine
+"""ARCH203 clean twin: core imports the simulator from the facade."""
+
+from repro.sim import Simulator
+
+
+def fresh_sim() -> Simulator:
+    return Simulator()

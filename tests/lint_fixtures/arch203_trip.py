@@ -1,0 +1,8 @@
+# lint-fixture-module: repro.core.fixture_badengine
+"""ARCH203 trip: core reaching into sim.engine internals (fixable)."""
+
+from repro.sim.engine import Simulator  # ARCH203: use the repro.sim facade
+
+
+def fresh_sim() -> Simulator:
+    return Simulator()

@@ -1,0 +1,11 @@
+# lint-fixture-module: repro.metric.fixture_goodmetric
+"""CON301 clean twin: the distance contract is implemented."""
+
+from repro.metric.base import Metric
+
+
+class AbsoluteDifference(Metric):
+    is_bounded = False
+
+    def distance(self, x, y) -> float:
+        return abs(float(x) - float(y))

@@ -1,0 +1,9 @@
+# lint-fixture-module: repro.metric.fixture_badmetric
+"""CON301 trip: a Metric subclass shipping without its distance."""
+
+from repro.metric.base import Metric
+
+
+class BrokenMetric(Metric):  # CON301: inherits raise NotImplementedError
+    is_bounded = True
+    upper_bound = 1.0

@@ -1,0 +1,13 @@
+# lint-fixture-module: repro.sim.fixture_goodmsg
+"""CON302 clean twin: the message dataclass registers its schema."""
+
+from dataclasses import dataclass
+
+from repro.sim.messages import register_message
+
+
+@register_message
+@dataclass
+class PongMessage:
+    src: int
+    dst: int

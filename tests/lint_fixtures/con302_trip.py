@@ -1,0 +1,10 @@
+# lint-fixture-module: repro.sim.fixture_badmsg
+"""CON302 trip: a message dataclass missing its trace-schema registration."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PingMessage:  # CON302: not registered with the transport trace schema
+    src: int
+    dst: int

@@ -1,0 +1,7 @@
+# lint-fixture-module: repro.sim.fixture_goodclock
+"""DET101 clean twin: time comes from the simulation clock."""
+
+
+def stamp_event(sim, record: dict) -> dict:
+    record["at"] = sim.now
+    return record

@@ -1,0 +1,9 @@
+# lint-fixture-module: repro.sim.fixture_badclock
+"""DET101 trip: a simulated component reading the host wall clock."""
+
+import time
+
+
+def stamp_event(record: dict) -> dict:
+    record["at"] = time.time()  # DET101: host clock, diverges across machines
+    return record

@@ -1,0 +1,14 @@
+# lint-fixture-module: repro.core.fixture_goodrng
+"""DET102 clean twin: every draw comes from a seeded generator."""
+
+import random
+
+import numpy as np
+
+
+def jitter_sample(n: int, seed: int):
+    rng = np.random.default_rng(seed)
+    shuffler = random.Random(seed)
+    order = list(range(n))
+    shuffler.shuffle(order)
+    return rng.uniform(0.0, 1.0, size=n)[order]

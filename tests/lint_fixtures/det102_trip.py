@@ -1,0 +1,9 @@
+# lint-fixture-module: repro.core.fixture_badrng
+"""DET102 trip: an unseeded generator escapes the scenario seed."""
+
+import numpy as np
+
+
+def jitter_sample(n: int):
+    rng = np.random.default_rng()  # DET102: fresh entropy, not replayable
+    return rng.uniform(0.0, 1.0, size=n)

@@ -1,0 +1,8 @@
+# lint-fixture-module: repro.core.fixture_goodhash
+"""DET103 clean twin: stable hashing via zlib.crc32."""
+
+import zlib
+
+
+def index_offset(index_name: str, m: int) -> int:
+    return zlib.crc32(index_name.encode("utf-8")) % (1 << m)

@@ -1,0 +1,6 @@
+# lint-fixture-module: repro.core.fixture_badhash
+"""DET103 trip: builtin hash() is salted per process for str/bytes."""
+
+
+def index_offset(index_name: str, m: int) -> int:
+    return hash(index_name) % (1 << m)  # DET103: PYTHONHASHSEED hazard

@@ -1,0 +1,8 @@
+# lint-fixture-module: repro.core.fixture_goodsetiter
+"""DET104 clean twin: the set is sorted before it feeds the schedule."""
+
+
+def flood(transport, node, neighbors: list, payload) -> None:
+    targets = set(neighbors)
+    for peer in sorted(targets, key=lambda p: p.id):
+        transport.send(node, peer, peer.handle, payload)

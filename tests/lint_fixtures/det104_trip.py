@@ -1,0 +1,8 @@
+# lint-fixture-module: repro.core.fixture_badsetiter
+"""DET104 trip: set iteration order reaches the event queue."""
+
+
+def flood(transport, node, neighbors: list, payload) -> None:
+    targets = set(neighbors)
+    for peer in targets:  # DET104: arbitrary order feeds scheduling below
+        transport.send(node, peer, peer.handle, payload)

@@ -1,0 +1,280 @@
+"""The `repro lint` static-analysis toolkit: rules, engine, baseline, CLI.
+
+Every rule has a pair of fixtures under ``tests/lint_fixtures/``: a
+``*_trip.py`` that must trip the rule exactly once (and nothing else), and
+a ``*_clean.py`` twin that must pass untouched.  On top of the fixture
+matrix: baseline round-trips, mechanical ``--fix`` application, the JSON
+output contract, the layering config, and the repo-wide gate (``src/``
+lints clean against the checked-in baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import fields as dc_fields
+from pathlib import Path
+
+import pytest
+
+from repro.check.lint import (
+    Baseline,
+    BaselineEntry,
+    Finding,
+    LayersConfig,
+    all_rules,
+    apply_fixes,
+    run_lint,
+)
+from repro.check.lint.engine import load_module, module_name_for
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
+
+RULE_IDS = (
+    "DET101", "DET102", "DET103", "DET104",
+    "ARCH201", "ARCH202", "ARCH203",
+    "CON301", "CON302",
+)
+
+
+def lint_one(path: Path, **kw) -> list[Finding]:
+    return run_lint([path], root=REPO_ROOT, **kw).findings
+
+
+class TestRuleFixtures:
+    def test_every_rule_has_fixtures(self):
+        ids = {r.id for r in all_rules()}
+        assert ids == set(RULE_IDS)
+        for rule_id in ids:
+            assert (FIXTURES / f"{rule_id.lower()}_trip.py").exists()
+            assert (FIXTURES / f"{rule_id.lower()}_clean.py").exists()
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_trip_fixture_trips_exactly_once(self, rule_id):
+        findings = lint_one(FIXTURES / f"{rule_id.lower()}_trip.py")
+        assert [f.rule for f in findings] == [rule_id], findings
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_clean_twin_passes(self, rule_id):
+        findings = lint_one(FIXTURES / f"{rule_id.lower()}_clean.py")
+        assert findings == []
+
+    def test_rule_catalogue_is_documented(self):
+        for rule in all_rules():
+            assert rule.name, rule.id
+            assert len(rule.rationale) > 20, rule.id
+
+    def test_finding_carries_symbol_and_snippet(self):
+        (finding,) = lint_one(FIXTURES / "det101_trip.py")
+        assert finding.symbol == "stamp_event"
+        assert "time.time()" in finding.snippet
+        assert finding.line > 0 and finding.col >= 0
+
+
+class TestDeterminismRules:
+    def test_det102_flags_global_stream_and_legacy_numpy(self, tmp_path):
+        src = (
+            "# lint-fixture-module: repro.core.tmp\n"
+            "import random\nimport numpy as np\n"
+            "def f():\n"
+            "    a = random.random()\n"
+            "    b = np.random.rand(3)\n"
+            "    c = np.random.default_rng(None)\n"
+            "    return a, b, c\n"
+        )
+        p = tmp_path / "m.py"
+        p.write_text(src)
+        findings = run_lint([p], root=tmp_path).findings
+        assert [f.rule for f in findings] == ["DET102"] * 3
+
+    def test_det103_allowed_in_hashing_module(self, tmp_path):
+        src = (
+            "# lint-fixture-module: repro.dht.hashing\n"
+            "def f(s):\n    return hash(s)\n"
+        )
+        p = tmp_path / "m.py"
+        p.write_text(src)
+        assert run_lint([p], root=tmp_path).findings == []
+
+    def test_det104_ignores_sets_without_scheduling(self, tmp_path):
+        src = (
+            "# lint-fixture-module: repro.core.tmp\n"
+            "def f(xs):\n    return [x for x in set(xs)]\n"
+        )
+        p = tmp_path / "m.py"
+        p.write_text(src)
+        assert run_lint([p], root=tmp_path).findings == []
+
+    def test_outside_package_is_ignored(self, tmp_path):
+        p = tmp_path / "free.py"
+        p.write_text("import time\nt = time.time()\n")
+        assert run_lint([p], root=tmp_path).findings == []
+
+
+class TestLayersConfig:
+    def test_default_contract_loads_and_validates(self):
+        cfg = LayersConfig.load()
+        assert cfg.package == "repro"
+        assert cfg.layer_of("repro.util.bits") == "util"
+        assert cfg.layer_of("repro.cli") == "app"
+        assert cfg.layer_of("numpy.random") is None
+
+    def test_allowed_edges(self):
+        cfg = LayersConfig.load()
+        assert cfg.allowed("repro.core.routing", "repro.metric.base")
+        assert cfg.allowed("repro.core.a", "repro.core.b")  # same layer
+        assert not cfg.allowed("repro.metric.base", "repro.core.routing")
+        assert not cfg.allowed("repro.obs.spans", "repro.eval.report")
+
+    def test_denied_edges_carry_rationale_and_facade(self):
+        cfg = LayersConfig.load()
+        edge = cfg.denied("repro.core.platform", "repro.sim.engine")
+        assert edge is not None and edge.use == "repro.sim"
+        assert cfg.denied("repro.sim.transport", "repro.sim.engine") is None
+
+    def test_bad_contract_rejected(self, tmp_path):
+        p = tmp_path / "layers.toml"
+        p.write_text('[layers]\na = ["nope"]\n')
+        with pytest.raises(ValueError, match="unknown layer"):
+            LayersConfig.load(p)
+
+    def test_scheduler_allowlist(self):
+        cfg = LayersConfig.load()
+        assert cfg.scheduler_ok("repro.sim.transport")
+        assert not cfg.scheduler_ok("repro.core.routing")
+
+
+class TestBaseline:
+    def entry_for(self, f: Finding, justification: str = "grandfathered") -> BaselineEntry:
+        return BaselineEntry(
+            rule=f.rule, path=f.path, symbol=f.symbol,
+            snippet=f.snippet, justification=justification,
+        )
+
+    def test_baselined_findings_do_not_fail_the_gate(self):
+        trip = FIXTURES / "det101_trip.py"
+        (finding,) = lint_one(trip)
+        baseline = Baseline((self.entry_for(finding),))
+        result = run_lint([trip], root=REPO_ROOT, baseline=baseline)
+        assert result.findings == [] and len(result.baselined) == 1
+        assert result.ok
+
+    def test_stale_entry_fails_the_gate(self):
+        clean = FIXTURES / "det101_clean.py"
+        stale = BaselineEntry(rule="DET101", path="tests/lint_fixtures/det101_clean.py",
+                              symbol="gone", snippet="gone()")
+        result = run_lint([clean], root=REPO_ROOT, baseline=Baseline((stale,)))
+        assert result.findings == [] and len(result.stale) == 1
+        assert not result.ok
+
+    def test_round_trip_keeps_justifications(self, tmp_path):
+        (finding,) = lint_one(FIXTURES / "det101_trip.py")
+        old = Baseline((self.entry_for(finding, "for reasons"),))
+        new = Baseline.from_findings([finding], old=old)
+        path = tmp_path / "baseline.json"
+        new.save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 1
+        assert loaded.entries[0].justification == "for reasons"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+
+class TestFixes:
+    def fix_and_relint(self, fixture: str, tmp_path) -> tuple[str, list[Finding]]:
+        p = tmp_path / fixture
+        shutil.copy(FIXTURES / fixture, p)
+        result = run_lint([p], root=tmp_path)
+        assert result.findings and result.findings[0].fixable
+        assert apply_fixes(result.findings, tmp_path) == 1
+        return p.read_text(), run_lint([p], root=tmp_path).findings
+
+    def test_det102_seed_fix(self, tmp_path):
+        text, findings = self.fix_and_relint("det102_trip.py", tmp_path)
+        assert "default_rng(0)" in text
+        assert findings == []
+
+    def test_arch203_facade_fix(self, tmp_path):
+        text, findings = self.fix_and_relint("arch203_trip.py", tmp_path)
+        assert "from repro.sim import Simulator" in text
+        assert findings == []
+
+
+class TestMessageSchema:
+    def test_wire_messages_are_registered(self):
+        from repro.sim.messages import QueryMessage, ResultMessage, message_schema
+
+        schema = message_schema()
+        for cls in (QueryMessage, ResultMessage):
+            assert schema[cls.__name__] == tuple(f.name for f in dc_fields(cls))
+
+    def test_register_rejects_non_dataclass(self):
+        from repro.sim.messages import register_message
+
+        with pytest.raises(TypeError):
+            register_message(type("LooseMessage", (), {}))
+
+
+class TestRepoGate:
+    def test_src_lints_clean_against_checked_in_baseline(self):
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        result = run_lint([REPO_ROOT / "src"], root=REPO_ROOT, baseline=baseline)
+        assert result.errors == []
+        assert result.findings == [], [f.render() for f in result.findings]
+        assert result.stale == [], "baseline entries went stale — delete them"
+        assert len(baseline) <= 10, "baseline budget exceeded (acceptance: <=10)"
+        assert all("TODO" not in e.justification for e in baseline.entries)
+
+    def test_module_naming(self):
+        assert module_name_for(Path("src/repro/core/platform.py")) == "repro.core.platform"
+        assert module_name_for(Path("src/repro/obs/__init__.py")) == "repro.obs"
+        assert module_name_for(Path("scripts/tool.py")) is None
+
+    def test_relative_import_resolution(self):
+        info = load_module(REPO_ROOT / "src" / "repro" / "obs" / "__init__.py", REPO_ROOT)
+        imported = {m for _, m in info.import_nodes()}
+        assert "repro.obs.registry" in imported
+        assert not any(m.startswith("repro.registry") for m in imported)
+
+
+class TestCli:
+    def run_cli(self, *argv: str) -> int:
+        from repro.cli import main
+
+        return main(list(argv))
+
+    def test_list_rules(self, capsys):
+        assert self.run_cli("lint", "--list-rules") == 0
+        out = capsys.readouterr().out
+        for rule_id in RULE_IDS:
+            assert rule_id in out
+
+    def test_json_output_on_trip_fixture(self, capsys):
+        rc = self.run_cli(
+            "lint", str(FIXTURES / "det101_trip.py"), "--format", "json")
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1 and doc["ok"] is False
+        (finding,) = doc["findings"]
+        assert finding["rule"] == "DET101"
+        assert {"path", "line", "col", "message", "symbol", "fixable"} <= finding.keys()
+
+    def test_select_filters_rules(self, capsys):
+        rc = self.run_cli(
+            "lint", str(FIXTURES / "det101_trip.py"), "--select", "ARCH201")
+        assert rc == 0
+
+    def test_src_gate_via_cli(self, capsys):
+        assert self.run_cli("lint", str(REPO_ROOT / "src")) == 0
+
+    def test_typecheck_handles_missing_mypy(self, capsys):
+        import importlib.util
+
+        rc = self.run_cli("typecheck", "--format", "json")
+        out = capsys.readouterr().out
+        if importlib.util.find_spec("mypy") is None:
+            assert rc == 2
+            assert json.loads(out)["available"] is False
+        else:
+            assert rc in (0, 1)

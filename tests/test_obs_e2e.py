@@ -7,7 +7,7 @@ import json
 import pytest
 
 from repro.cli import main as cli_main
-from repro.obs.demo import run_demo
+from repro.eval.demo import run_demo
 from repro.obs.spans import SpanTree
 
 
