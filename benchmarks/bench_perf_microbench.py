@@ -269,3 +269,42 @@ class TestRingKernels:
         keys = RNG.integers(0, 2**32, size=100_000, dtype=np.uint64)
         pos = benchmark(ring.owners_of_keys, keys)
         assert len(pos) == 100_000
+
+
+class TestEventEngine:
+    def test_storm_workload_throughput(self, benchmark):
+        """The `repro bench` event_loop workload on the live engine."""
+        from repro.bench.micro import _storm_workload
+        from repro.sim.engine import Simulator
+
+        completed = benchmark(lambda: _storm_workload(Simulator(), 2_000))
+        assert completed == 2_000
+
+    def test_compaction_prunes_cancelled_timers(self):
+        """Deterministic twin of the timing section: with digests off, the
+        engine compacts cancelled deadline timers out of the heap instead of
+        dragging (nearly) all 8 * n_ops of them to their due times."""
+        from repro.bench.micro import _storm_workload
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        n_ops, fan_out = 5_000, 8
+        _storm_workload(sim, n_ops, fan_out)
+        cancelled = n_ops * fan_out
+        assert sim.tombstones_skipped < cancelled * 0.05, (
+            f"compaction ineffective: {sim.tombstones_skipped}/{cancelled} "
+            "tombstones still popped"
+        )
+
+    def test_digest_mode_keeps_exact_tombstone_accounting(self):
+        """With digests on (replay), compaction must stay off: every
+        cancelled timer is popped, counted and folded into the digest."""
+        from repro.bench.micro import _storm_workload
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        sim.digest_enabled = True
+        n_ops, fan_out = 500, 8
+        _storm_workload(sim, n_ops, fan_out)
+        assert sim.tombstones_skipped == n_ops * fan_out
+        assert sim.events_processed == n_ops * (fan_out + 1)

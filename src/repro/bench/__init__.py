@@ -1,0 +1,35 @@
+"""Performance benchmarking: suites, the BenchResult schema, regression gate.
+
+``repro bench`` runs the suites and writes ``BENCH_perf.json`` /
+``BENCH_e2e.json`` at the repo root; CI re-runs them in quick mode and fails
+on >20% speedup regression against the committed baselines.  See
+``docs/performance.md`` for the schema and the replay-fingerprint procedure
+required before landing any optimization.
+"""
+
+from repro.bench.convert import convert_results_dir, convert_text_table
+from repro.bench.e2e import run_e2e
+from repro.bench.micro import run_perf
+from repro.bench.schema import (
+    SCHEMA,
+    BenchResult,
+    BenchSection,
+    check_regression,
+    current_git_sha,
+    geomean_speedup,
+    machine_fingerprint,
+)
+
+__all__ = [
+    "SCHEMA",
+    "BenchResult",
+    "BenchSection",
+    "check_regression",
+    "convert_results_dir",
+    "convert_text_table",
+    "current_git_sha",
+    "geomean_speedup",
+    "machine_fingerprint",
+    "run_e2e",
+    "run_perf",
+]

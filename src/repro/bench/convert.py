@@ -1,0 +1,128 @@
+"""One-shot migration of ``benchmarks/results/*.txt`` to the BenchResult schema.
+
+The loose text files are fixed-width tables rendered by
+:mod:`repro.eval.report`: an optional title line, then one or more blocks of
+
+    [metric]
+    header1  header2 ...
+    -------  ------- ...
+    value    value   ...
+
+Column boundaries are recovered from the dash row (cells may contain single
+spaces, so splitting on whitespace would corrupt them).  Each block becomes
+a ``kind="table"`` section; the whole file becomes one ``BenchResult`` whose
+suite is the file stem.  ``repro bench --convert DIR`` writes ``<stem>.json``
+next to every ``.txt`` — after that, both formats are readable through
+:func:`repro.eval.report.read_result_file`.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any
+
+from repro.bench.schema import BenchResult, BenchSection
+
+__all__ = ["convert_text_table", "convert_results_dir"]
+
+_DASH_ROW = re.compile(r"^[-\s]+$")
+
+
+def _parse_value(cell: str) -> Any:
+    cell = cell.strip()
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        return cell
+
+
+def _column_spans(dash_row: str) -> list[tuple[int, int]]:
+    """(start, end) character spans of each dash column."""
+    return [(m.start(), m.end()) for m in re.finditer(r"-+", dash_row)]
+
+
+def _slice_row(line: str, spans: list[tuple[int, int]]) -> list[str]:
+    cells = []
+    for i, (start, end) in enumerate(spans):
+        # column content may be wider than the dashes (right-justified
+        # headers/values): extend left to the previous column's end
+        left = spans[i - 1][1] if i else 0
+        right = end if i < len(spans) - 1 else len(line)
+        cells.append(line[left:right].strip())
+    return cells
+
+
+def _parse_blocks(lines: list[str]) -> tuple[str, list[BenchSection]]:
+    title = ""
+    sections: list[BenchSection] = []
+    i = 0
+    if lines and not lines[0].startswith("[") and (
+        len(lines) < 3 or not _DASH_ROW.match(lines[2] or "x")
+    ):
+        # a free-standing title line ("Figure 2 — ...") not followed
+        # immediately by header+dashes
+        title = lines[0].strip()
+        i = 1
+    block_name = ""
+    block_title = ""
+    while i < len(lines):
+        line = lines[i]
+        if not line.strip():
+            i += 1
+            continue
+        if line.startswith("[") and line.rstrip().endswith("]"):
+            block_title = line.strip()
+            block_name = block_title.strip("[]").split(",")[0].strip().replace(" ", "_")
+            i += 1
+            continue
+        # expect: header row, dash row, data rows
+        if i + 1 >= len(lines) or not _DASH_ROW.match(lines[i + 1]) or "-" not in lines[i + 1]:
+            # a stray prose line (e.g. a title directly above a table)
+            block_title = block_title or line.strip()
+            i += 1
+            continue
+        spans = _column_spans(lines[i + 1])
+        headers = _slice_row(line, spans)
+        rows: list[list[Any]] = []
+        i += 2
+        while i < len(lines) and lines[i].strip() and not lines[i].startswith("["):
+            rows.append([_parse_value(c) for c in _slice_row(lines[i], spans)])
+            i += 1
+        sections.append(BenchSection(
+            name=block_name or f"table_{len(sections)}",
+            kind="table",
+            title=block_title,
+            headers=headers,
+            rows=rows,
+        ))
+        block_name = block_title = ""
+    return title, sections
+
+
+def convert_text_table(path: str | Path) -> BenchResult:
+    """Parse one results ``.txt`` file into a :class:`BenchResult`."""
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    title, sections = _parse_blocks(lines)
+    result = BenchResult.new(suite=path.stem)
+    result.sections = sections
+    result.summary = {"source": path.name, "title": title}
+    return result
+
+
+def convert_results_dir(directory: str | Path, overwrite: bool = False) -> list[Path]:
+    """Convert every ``*.txt`` in ``directory``; returns the written paths."""
+    directory = Path(directory)
+    written: list[Path] = []
+    for txt in sorted(directory.glob("*.txt")):
+        out = txt.with_suffix(".json")
+        if out.exists() and not overwrite:
+            continue
+        convert_text_table(txt).write(str(out))
+        written.append(out)
+    return written

@@ -1,0 +1,109 @@
+"""The ``e2e`` bench suite: end-to-end queries/sec on the Fig. 2 workload.
+
+Builds the paper's §4.1 setup at bench scale — clustered synthetic objects
+on a Chord overlay, range queries at a 5% range factor pushed through the
+full stack (projection, LPH, routing, transport, lifecycle) — and measures
+batch turnaround two ways:
+
+* **baseline**: serial drain, one query in flight at a time (the shape of
+  the pre-lifecycle harness);
+* **candidate**: pipelined lifecycle execution, every query in flight
+  concurrently.
+
+Timings are *simulated* makespans (issue of the first query to completion
+of the last), so queries/sec means queries per simulated second and the
+numbers are exactly reproducible; wall-clock per run is recorded in
+``meta`` for context only.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench.schema import BenchResult, BenchSection
+from repro.core.lifecycle import RetryPolicy
+from repro.core.platform import IndexPlatform
+from repro.datasets.queries import QueryWorkload
+from repro.dht.ring import ChordRing
+from repro.metric.vector import EuclideanMetric
+from repro.sim.network import ConstantLatency
+
+__all__ = ["run_e2e"]
+
+
+def _build_platform(n_objects: int, n_nodes: int):
+    rng = np.random.default_rng(42)
+    centers = rng.uniform(0, 100, size=(10, 6))
+    data = np.clip(
+        centers[rng.integers(0, 10, size=n_objects)]
+        + rng.normal(0, 4, size=(n_objects, 6)),
+        0, 100,
+    )
+    latency = ConstantLatency(n_nodes, delay=0.02)
+    ring = ChordRing.build(n_nodes, m=32, seed=1, latency=latency, pns=False)
+    platform = IndexPlatform(ring, latency=latency)
+    platform.create_index(
+        "fig2", data, EuclideanMetric(box=(0, 100), dim=6),
+        k=4, sample_size=min(1000, n_objects), seed=2,
+    )
+    return platform, data
+
+
+def run_e2e(quick: bool = False) -> BenchResult:
+    """Run the Fig. 2 workload suite and return its :class:`BenchResult`.
+
+    Repeats are pointless here — the makespan is simulated time, identical
+    on every run of the same seed — so each mode runs once and ``repeats``
+    records 1.
+    """
+    n_queries = 50 if quick else 200
+    n_objects = 2_000 if quick else 5_000
+    n_nodes = 64
+    platform, data = _build_platform(n_objects, n_nodes)
+    workload = QueryWorkload.build(
+        data[:n_queries], 10.0, n_nodes=n_nodes, mean_interarrival=0.01, seed=3,
+    )
+    policy = RetryPolicy(deadline=500.0)
+    start = float(workload.arrival_times.min())
+
+    def makespan(pipelined: bool) -> tuple[float, float]:
+        t0 = time.perf_counter()
+        stats = platform.run_workload("fig2", workload, pipelined=pipelined, policy=policy)
+        wall = time.perf_counter() - t0
+        counts = stats.state_counts()
+        if counts != {"complete": n_queries}:
+            raise AssertionError(f"workload did not complete cleanly: {counts}")
+        done = max(qs.completed_at for qs in stats.queries.values())
+        return done - start, wall
+
+    serial_s, serial_wall = makespan(pipelined=False)
+    pipelined_s, pipelined_wall = makespan(pipelined=True)
+
+    result = BenchResult.new("e2e", quick=quick)
+    result.sections.append(BenchSection(
+        name="query_throughput",
+        baseline_label="serial drain (one query in flight)",
+        candidate_label="pipelined lifecycle (all queries in flight)",
+        baseline_s=serial_s,
+        candidate_s=pipelined_s,
+        repeats=1,
+        meta={
+            "workload": "fig2-synthetic, 5% range factor radius 10.0",
+            "n_queries": n_queries,
+            "n_objects": n_objects,
+            "n_nodes": n_nodes,
+            "seconds_are": "simulated makespan (deterministic)",
+            "qps_serial": round(n_queries / serial_s, 1),
+            "qps_pipelined": round(n_queries / pipelined_s, 1),
+            "wall_s_serial": round(serial_wall, 3),
+            "wall_s_pipelined": round(pipelined_wall, 3),
+        },
+    ))
+    sec = result.sections[0]
+    result.summary = {
+        "queries_per_sim_second": sec.meta["qps_pipelined"],
+        "qps_speedup_vs_serial": round(sec.speedup, 2) if sec.speedup else None,
+    }
+    return result

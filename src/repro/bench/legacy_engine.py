@@ -1,0 +1,110 @@
+"""Frozen copy of the pre-vectorization event engine — the bench baseline.
+
+This is the tuple-heap calendar queue (and its lazy-cancellation
+``LegacyTimerHandle``) exactly as it shipped before :mod:`repro.sim.engine`
+was rewritten around tombstone cells.  It exists so the ``event_loop``
+section of ``repro bench`` measures the live engine against the real code it
+replaced, on the same machine, forever — do not "fix" or modernise it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import struct
+import zlib
+from collections.abc import Callable
+from typing import Any
+
+__all__ = ["LegacySimulator", "LegacyTimerHandle"]
+
+
+class LegacyTimerHandle:
+    """The old cancelable timer: cancellation is lazy, the queued event
+    stays in the heap and fires as a no-op through :meth:`_fire`."""
+
+    __slots__ = ("_fn", "_args", "_done")
+
+    def __init__(self, fn: Callable, args: tuple[Any, ...]) -> None:
+        self._fn = fn
+        self._args = args
+        self._done = False
+
+    @property
+    def active(self) -> bool:
+        return not self._done
+
+    def cancel(self) -> None:
+        self._done = True
+        self._fn = None
+        self._args = ()
+
+    def _fire(self) -> None:
+        if self._done:
+            return
+        fn, args = self._fn, self._args
+        self.cancel()
+        fn(*args)
+
+
+class LegacySimulator:
+    """The old engine: ``(time, seq, callback, args)`` tuples on heapq,
+    cancelable timers dispatched through a per-timer ``_fire`` frame."""
+
+    def __init__(self) -> None:
+        self._queue: list = []
+        self._seq = itertools.count()
+        self.now: float = 0.0
+        self.events_processed: int = 0
+        self.digest_enabled: bool = False
+        self._digest: int = 0
+
+    @property
+    def schedule_digest(self) -> int:
+        return self._digest
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> None:
+        if time < self.now:
+            raise ValueError(f"cannot schedule into the past ({time} < {self.now})")
+        heapq.heappush(self._queue, (time, next(self._seq), fn, args))
+
+    def schedule_in(self, delay: float, fn: Callable, *args: Any) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_cancelable_in(
+        self, delay: float, fn: Callable, *args: Any
+    ) -> LegacyTimerHandle:
+        """The old ``Transport.timer_cancelable`` path: a handle object whose
+        bound ``_fire`` is what actually sits in the queue."""
+        handle = LegacyTimerHandle(fn, args)
+        self.schedule_in(delay, handle._fire)
+        return handle
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        executed = 0
+        while self._queue:
+            time, seq, fn, args = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = time
+            if self.digest_enabled:
+                self._digest = zlib.crc32(struct.pack("<dq", time, seq), self._digest)
+            fn(*args)
+            self.events_processed += 1
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        if until is not None and (not self._queue or self._queue[0][0] > until):
+            self.now = max(self.now, until)
+
+    def reset(self) -> None:
+        self._queue.clear()
+        self.now = 0.0
+        self.events_processed = 0
+        self._digest = 0

@@ -1,0 +1,197 @@
+"""The ``perf`` bench suite: microbenchmarks of the vectorised hot paths.
+
+Each section times the *shipped* code (candidate) against the code shape it
+replaced (baseline) on the same data and machine:
+
+* ``embedding`` — one batched ``many_to_many`` distance matrix vs the scalar
+  definition of landmark projection: a Python loop calling
+  ``metric.distance(object, landmark)`` per pair, which is exactly what the
+  base-``Metric`` fallback (and every call site before the bulk kernels)
+  reduces to.  The intermediate shape — a per-object ``project_one`` loop,
+  i.e. vectorised over landmarks but looping over objects — is timed too and
+  recorded in ``meta`` so the two contributions stay visible.
+* ``event_loop`` — the live tombstone-compacting engine vs the frozen
+  :mod:`repro.bench.legacy_engine` on a retry-storm workload: every
+  operation fans out cancelable long-deadline timers that its completion
+  (milliseconds later) cancels — the lifecycle pattern that left the old
+  heap dragging thousands of dead timers to their distant due times.
+
+Only the speedup ratios are machine-portable; the regression gate compares
+those, never absolute seconds (see :func:`repro.bench.schema.check_regression`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from statistics import median
+
+import numpy as np
+
+from repro.bench.legacy_engine import LegacySimulator
+from repro.bench.schema import BenchResult, BenchSection, geomean_speedup
+from repro.core.landmarks import LandmarkSet
+from repro.metric.vector import EuclideanMetric
+from repro.sim.engine import Simulator
+
+__all__ = ["run_perf", "median_time"]
+
+
+def median_time(fn: Callable[[], object], repeats: int) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return median(times)
+
+
+# -- embedding -----------------------------------------------------------------
+
+
+def _bench_embedding(quick: bool, repeats: int) -> BenchSection:
+    n_objects = 4_000 if quick else 20_000
+    dim, k = 100, 10
+    rng = np.random.default_rng(0)
+    objects = rng.uniform(0, 100, size=(n_objects, dim))
+    lset = LandmarkSet(
+        landmarks=rng.uniform(0, 100, size=(k, dim)), metric=EuclideanMetric()
+    )
+    metric = lset.metric
+    landmark_rows = [np.asarray(lset.landmarks[j]) for j in range(k)]
+
+    def batched() -> np.ndarray:
+        return lset.project(objects)
+
+    def scalar_pairs() -> np.ndarray:
+        # the projection *definition*: one metric.distance call per
+        # (object, landmark) pair — the base-Metric fallback path
+        out = np.empty((n_objects, k))
+        for i in range(n_objects):
+            x = objects[i]
+            for j in range(k):
+                out[i, j] = metric.distance(x, landmark_rows[j])
+        return out
+
+    def project_one_loop() -> np.ndarray:
+        return np.stack([lset.project_one(objects[i]) for i in range(n_objects)])
+
+    # correctness first.  The batched kernel is bit-identical to the
+    # project_one column loop (the contract tests/test_batch_equivalence.py
+    # enforces per metric family); the scalar definition agrees to float
+    # tolerance (its p=2 reduction is a BLAS ddot, not the einsum row
+    # reduction).
+    if not np.array_equal(batched(), project_one_loop()):
+        raise AssertionError("batched projection diverged from the project_one loop")
+    if not np.allclose(batched(), scalar_pairs(), rtol=1e-12, atol=1e-9):
+        raise AssertionError("batched projection diverged from the scalar definition")
+
+    project_one_s = median_time(project_one_loop, repeats)
+    return BenchSection(
+        name="embedding",
+        baseline_label="scalar metric.distance per (object, landmark) pair",
+        candidate_label="batched many_to_many projection",
+        baseline_s=median_time(scalar_pairs, repeats),
+        candidate_s=median_time(batched, repeats),
+        repeats=repeats,
+        meta={
+            "n_objects": n_objects,
+            "dim": dim,
+            "k_landmarks": k,
+            "project_one_loop_s": round(project_one_s, 6),
+            "note": "project_one_loop_s is the intermediate per-object loop "
+            "(vectorised over landmarks only), for attribution",
+        },
+    )
+
+
+# -- event loop ----------------------------------------------------------------
+
+
+def _storm_workload(sim, n_ops: int, fan_out: int = 8) -> int:
+    """Retry-storm schedule: each operation arms ``fan_out`` cancelable
+    30-second deadline timers, then completes 1 ms later, cancelling them
+    all and starting the next operation.  Dead timers pile up with due
+    times ~30 simulated seconds away — the old engine drags every one to
+    its due time through an ever-larger heap; the compacting engine
+    filters them out as soon as they dominate."""
+    completed = 0
+    timed_out = 0
+
+    def deadline() -> None:
+        nonlocal timed_out
+        timed_out += 1
+
+    def complete(handles) -> None:
+        nonlocal completed
+        completed += 1
+        for h in handles:
+            h.cancel()
+        if completed < n_ops:
+            start_op()
+
+    def start_op() -> None:
+        handles = [
+            sim.schedule_cancelable_in(30.0, deadline) for _ in range(fan_out)
+        ]
+        sim.schedule_in(0.001, complete, handles)
+
+    start_op()
+    sim.run()
+    if completed != n_ops or timed_out != 0:
+        raise AssertionError(
+            f"workload mis-ran: completed={completed} timed_out={timed_out}"
+        )
+    return completed
+
+
+def _bench_event_loop(quick: bool, repeats: int) -> BenchSection:
+    n_ops = 10_000 if quick else 50_000
+    fan_out = 8
+
+    def live() -> None:
+        _storm_workload(Simulator(), n_ops, fan_out)
+
+    def legacy() -> None:
+        _storm_workload(LegacySimulator(), n_ops, fan_out)
+
+    return BenchSection(
+        name="event_loop",
+        baseline_label="legacy tuple-heap engine (cancelled timers fire as no-ops)",
+        candidate_label="tombstone engine with heap compaction",
+        baseline_s=median_time(legacy, repeats),
+        candidate_s=median_time(live, repeats),
+        repeats=repeats,
+        meta={
+            "workload": "retry storm: per op, 8 cancelable 30s deadlines "
+            "cancelled at +1ms, operations chained",
+            "n_ops": n_ops,
+            "fan_out": fan_out,
+            "timers_cancelled": n_ops * fan_out,
+        },
+    )
+
+
+def run_perf(quick: bool = False, repeats: int | None = None) -> BenchResult:
+    """Run the microbench suite and return its :class:`BenchResult`.
+
+    The summary's ``embedding_event_loop_geomean_speedup`` is the headline
+    number ISSUE 6 targets (≥5×): the geometric mean of the two sections'
+    speedups, so neither an embedding-only nor an engine-only win can claim
+    the whole refactor.
+    """
+    if repeats is None:
+        repeats = 3 if quick else 5
+    result = BenchResult.new("perf", quick=quick)
+    result.sections.append(_bench_embedding(quick, repeats))
+    result.sections.append(_bench_event_loop(quick, repeats))
+    gm = geomean_speedup(result, ["embedding", "event_loop"])
+    result.summary = {
+        "embedding_event_loop_geomean_speedup": None if gm is None else round(gm, 2),
+        "per_section_speedups": {
+            s.name: round(s.speedup, 2)
+            for s in result.sections if s.speedup is not None
+        },
+    }
+    return result

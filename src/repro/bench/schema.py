@@ -1,0 +1,233 @@
+"""The ``BenchResult`` schema: one JSON format for every saved benchmark.
+
+Two kinds of payload share the envelope:
+
+* **timing** sections — a baseline/candidate pair of median wall-clock
+  timings plus their speedup (the ``repro bench`` suites);
+* **table** sections — the figure/table grids the experiment benchmarks
+  print (migrated from the loose ``benchmarks/results/*.txt`` files).
+
+The envelope records where the numbers came from: schema version, suite
+name, git revision and a machine fingerprint.  Regression gating compares
+**speedup ratios**, not absolute seconds — each section times baseline and
+candidate on the *same* machine, so the ratio is the only number that
+transfers between the committed baseline and a CI runner.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any
+
+__all__ = [
+    "SCHEMA",
+    "BenchSection",
+    "BenchResult",
+    "machine_fingerprint",
+    "current_git_sha",
+    "check_regression",
+    "geomean_speedup",
+]
+
+#: schema identifier stored in every file; bump on breaking changes
+SCHEMA = "repro-bench/1"
+
+
+def machine_fingerprint() -> dict[str, Any]:
+    """Enough host detail to judge whether two absolute timings compare."""
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy.__version__,
+    }
+
+
+def current_git_sha(cwd: str | None = None) -> str | None:
+    """HEAD revision of the enclosing checkout, or None outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, cwd=cwd,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+@dataclass
+class BenchSection:
+    """One named measurement (``kind="timing"``) or grid (``kind="table"``)."""
+
+    name: str
+    kind: str = "timing"
+    # -- timing payload -------------------------------------------------------
+    baseline_label: str = ""
+    candidate_label: str = ""
+    baseline_s: float | None = None  # median seconds over `repeats`
+    candidate_s: float | None = None
+    repeats: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+    # -- table payload --------------------------------------------------------
+    title: str = ""
+    headers: list[str] = field(default_factory=list)
+    rows: list[list[Any]] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float | None:
+        """baseline_s / candidate_s (>1 means the candidate is faster)."""
+        if self.kind != "timing" or not self.baseline_s or not self.candidate_s:
+            return None
+        return self.baseline_s / self.candidate_s
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"name": self.name, "kind": self.kind}
+        if self.kind == "timing":
+            out.update(
+                baseline_label=self.baseline_label,
+                candidate_label=self.candidate_label,
+                baseline_s=self.baseline_s,
+                candidate_s=self.candidate_s,
+                repeats=self.repeats,
+                speedup=None if self.speedup is None else round(self.speedup, 3),
+                meta=self.meta,
+            )
+        else:
+            out.update(title=self.title, headers=self.headers, rows=self.rows)
+        return out
+
+    @classmethod
+    def from_json(cls, d: dict[str, Any]) -> BenchSection:
+        return cls(
+            name=d["name"],
+            kind=d.get("kind", "timing"),
+            baseline_label=d.get("baseline_label", ""),
+            candidate_label=d.get("candidate_label", ""),
+            baseline_s=d.get("baseline_s"),
+            candidate_s=d.get("candidate_s"),
+            repeats=d.get("repeats", 0),
+            meta=d.get("meta", {}),
+            title=d.get("title", ""),
+            headers=d.get("headers", []),
+            rows=d.get("rows", []),
+        )
+
+
+@dataclass
+class BenchResult:
+    """A saved benchmark run: envelope + sections."""
+
+    suite: str
+    sections: list[BenchSection] = field(default_factory=list)
+    created: str | None = None
+    git_sha: str | None = None
+    machine: dict[str, Any] = field(default_factory=dict)
+    quick: bool = False
+    summary: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def new(cls, suite: str, quick: bool = False) -> BenchResult:
+        return cls(
+            suite=suite,
+            created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            git_sha=current_git_sha(),
+            machine=machine_fingerprint(),
+            quick=quick,
+        )
+
+    def section(self, name: str) -> BenchSection | None:
+        for s in self.sections:
+            if s.name == name:
+                return s
+        return None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "suite": self.suite,
+            "created": self.created,
+            "git_sha": self.git_sha,
+            "machine": self.machine,
+            "quick": self.quick,
+            "sections": [s.to_json() for s in self.sections],
+            "summary": self.summary,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict[str, Any]) -> BenchResult:
+        if d.get("schema") != SCHEMA:
+            raise ValueError(f"not a {SCHEMA} file (schema={d.get('schema')!r})")
+        return cls(
+            suite=d["suite"],
+            sections=[BenchSection.from_json(s) for s in d.get("sections", [])],
+            created=d.get("created"),
+            git_sha=d.get("git_sha"),
+            machine=d.get("machine", {}),
+            quick=d.get("quick", False),
+            summary=d.get("summary", {}),
+        )
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=2)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> BenchResult:
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_json(json.load(fh))
+
+
+def geomean_speedup(result: BenchResult, names: list[str] | None = None) -> float | None:
+    """Geometric mean of the named timing sections' speedups (all if None)."""
+    vals = [
+        s.speedup for s in result.sections
+        if s.kind == "timing" and s.speedup is not None
+        and (names is None or s.name in names)
+    ]
+    if not vals:
+        return None
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def check_regression(
+    current: BenchResult, baseline: BenchResult, threshold: float = 0.2
+) -> list[str]:
+    """Compare two runs of the same suite; return regression messages.
+
+    A section regresses when its candidate lost more than ``threshold`` of
+    the recorded speedup — i.e. ``baseline.speedup / current.speedup``
+    exceeds ``1 + threshold`` (a synthetic 25% slowdown of the candidate
+    trips the default 20% gate).  Sections present in only one file are
+    reported as warnings, not regressions, so suites can grow.
+    """
+    problems: list[str] = []
+    for base_sec in baseline.sections:
+        if base_sec.kind != "timing" or base_sec.speedup is None:
+            continue
+        cur_sec = current.section(base_sec.name)
+        if cur_sec is None or cur_sec.speedup is None:
+            problems.append(
+                f"[{baseline.suite}] section '{base_sec.name}' missing from the "
+                "current run (remove it from the committed baseline if retired)"
+            )
+            continue
+        slowdown = base_sec.speedup / cur_sec.speedup
+        if slowdown > 1.0 + threshold:
+            problems.append(
+                f"[{baseline.suite}] '{base_sec.name}' regressed: speedup "
+                f"{cur_sec.speedup:.2f}x vs recorded {base_sec.speedup:.2f}x "
+                f"({(slowdown - 1) * 100:.0f}% > {threshold * 100:.0f}% allowed)"
+            )
+    return problems

@@ -8,6 +8,10 @@
   ``Message``) is registered with the transport's trace schema
   (:func:`repro.sim.messages.register_message`), so trace consumers can
   rely on the schema covering every message that can appear on the wire.
+* **CON303** — every ``@register_message`` dataclass declares
+  ``slots=True``.  Messages are the highest-volume allocation in a
+  simulation; a slotted instance skips the per-object ``__dict__``, and one
+  unslotted message type silently costs the event loop its footprint win.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ from collections.abc import Iterable
 from repro.check.lint.engine import LintContext, ModuleInfo, Rule, rule
 from repro.check.lint.findings import Finding
 
-__all__ = ["MetricInterfaceRule", "MessageSchemaRule"]
+__all__ = ["MetricInterfaceRule", "MessageSchemaRule", "MessageSlotsRule"]
 
 #: dotted names that resolve to the Metric base class
 _METRIC_BASES = {"Metric", "repro.metric.Metric", "repro.metric.base.Metric"}
@@ -117,3 +121,48 @@ class MessageSchemaRule(Rule):
                     "the transport trace schema — decorate it with "
                     "@register_message (repro.sim.messages)",
                 )
+
+
+@rule
+class MessageSlotsRule(Rule):
+    id = "CON303"
+    name = "message-dataclass-slots"
+    rationale = (
+        "Messages dominate simulation allocations; `@dataclass(slots=True)` "
+        "drops the per-instance __dict__, and one unslotted type quietly "
+        "forfeits the event loop's memory footprint."
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterable[Finding]:
+        if not _in_repro(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if "register_message" not in _decorator_names(node, module):
+                continue
+            if not self._dataclass_has_slots(node, module):
+                yield module.finding(
+                    self.id, node,
+                    f"registered message `{node.name}` is not slotted — "
+                    "declare it with @dataclass(slots=True)",
+                )
+
+    @staticmethod
+    def _dataclass_has_slots(node: ast.ClassDef, module: ModuleInfo) -> bool:
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            resolved = module.resolve(target)
+            name = (resolved or "").rsplit(".", 1)[-1] or (
+                target.id if isinstance(target, ast.Name) else
+                target.attr if isinstance(target, ast.Attribute) else ""
+            )
+            if name != "dataclass":
+                continue
+            if not isinstance(dec, ast.Call):
+                return False  # bare @dataclass — no slots
+            for kw in dec.keywords:
+                if kw.arg == "slots" and isinstance(kw.value, ast.Constant):
+                    return kw.value.value is True
+            return False
+        return False

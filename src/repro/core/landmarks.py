@@ -68,10 +68,12 @@ class LandmarkSet:
         """Map ``objects`` to the k-dimensional index space.
 
         Returns an ``(n_objects, k)`` float64 array whose column ``i`` holds
-        ``d(x, l_i)``.
+        ``d(x, l_i)``, computed as one ``many_to_many`` distance matrix.
+        The metric's column-exactness contract (column ``i`` bit-identical
+        to ``one_to_many(l_i, objects)``) is what keeps single-object and
+        batch projection on the same floating-point path.
         """
-        cols = [self.metric.one_to_many(self._landmark(i), objects) for i in range(self.k)]
-        return np.stack(cols, axis=1)
+        return self.metric.many_to_many(objects, self.landmarks)
 
     def project_one(self, obj: Any) -> np.ndarray:
         """Map a single object to its index-space point (k-vector).

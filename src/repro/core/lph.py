@@ -81,8 +81,11 @@ def lp_hash_batch(points: np.ndarray, bounds: IndexSpaceBounds, m: int) -> np.nd
         j = (i - 1) % k
         mid = (lo[:, j] + hi[:, j]) * 0.5
         high_half = pts[:, j] > mid
-        lo[high_half, j] = mid[high_half]
-        hi[~high_half, j] = mid[~high_half]
+        # np.where copies the midpoint values unchanged, so the halving
+        # sequence (and hence every key bit) matches lp_hash exactly; it
+        # replaces two boolean fancy-indexing round trips per division.
+        lo[:, j] = np.where(high_half, mid, lo[:, j])
+        hi[:, j] = np.where(high_half, hi[:, j], mid)
         keys = (keys << one) | high_half.astype(np.uint64)
     return keys
 

@@ -257,6 +257,39 @@ class LandmarkIndex:
             alloc=self.qids,
         )
 
+    def make_queries(
+        self,
+        objs: Any,
+        radii: Any,
+        qids: Any = None,
+    ) -> list[RangeQuery]:
+        """Batch :meth:`make_query`: one projection pass for all objects.
+
+        The whole batch is embedded as a single ``(n, k)`` distance matrix
+        (the metric's ``many_to_many`` kernel); per-query rectangle and
+        prefix construction is unchanged.  ``project_one`` delegates to the
+        same batch kernel, so the resulting queries are bit-identical to n
+        separate :meth:`make_query` calls.  ``qids=None`` draws fresh ids
+        from the platform allocator, exactly as the scalar path would.
+        """
+        n = objs.shape[0] if hasattr(objs, "shape") else len(objs)
+        ipoints = self.space.project(objs)
+        if qids is None:
+            qids = [None] * n
+        return [
+            RangeQuery.from_point(
+                ipoints[i],
+                float(radii[i]),
+                self.bounds,
+                self.m,
+                index_name=self.name,
+                payload=QueryPayload(obj=take(objs, i), ipoint=ipoints[i]),
+                qid=qids[i],
+                alloc=self.qids,
+            )
+            for i in range(n)
+        ]
+
     def refine_distances(self, q: RangeQuery, points: np.ndarray, object_ids: np.ndarray) -> np.ndarray:
         """Distances used to refine range-search candidates at an index node.
 
@@ -563,10 +596,14 @@ class IndexPlatform:
         # and hand the delta to the collector (query-vs-maintenance split).
         maint_bytes0 = self.transport.stats.maintenance_bytes
         maint_msgs0 = self.transport.stats.maintenance_messages
+        # One batched projection pass maps every query object up front
+        # (bit-identical to per-query make_query; see make_queries).
+        queries = index.make_queries(
+            workload.points, workload.radii, qids=range(len(workload))
+        )
 
         def issue_one(i: int) -> Any:
-            obj = take(workload.points, i)
-            q = index.make_query(obj, float(workload.radii[i]), qid=i)
+            q = queries[i]
             node = nodes[int(workload.source_nodes[i]) % len(nodes)]
             # serial draining can advance the clock past the next arrival;
             # the serial baseline then issues the query immediately (its

@@ -50,7 +50,13 @@ class ChordNode:
         "predecessor",
         "load_hint",
         "alive",
+        "table_version",
+        "_nh_cache",
     )
+
+    #: safety cap of the per-node next-hop memo (distinct prefix keys seen
+    #: between table changes); prevents unbounded growth on huge workloads.
+    NH_CACHE_MAX = 4096
 
     def __init__(self, node_id: int, m: int, name: str = "", host: int = 0) -> None:
         self.id = int(node_id)
@@ -65,6 +71,13 @@ class ChordNode:
         self.load_hint: dict[int, float] = {}
         #: liveness flag used by the churn/stabilisation simulation.
         self.alive: bool = True
+        #: bumped by :meth:`invalidate_routing` whenever the routing table
+        #: (fingers / successor list / identifier) changes — churn hooks in
+        #: :mod:`repro.dht.ring` and :mod:`repro.dht.stabilize` call it after
+        #: every table mutation.
+        self.table_version: int = 0
+        #: key -> next_hop memo, valid for the current table_version only.
+        self._nh_cache: dict[int, ChordNode] = {}
 
     def __repr__(self) -> str:
         return f"ChordNode({self.name}, id={self.id:#x})"
@@ -91,6 +104,18 @@ class ChordNode:
                 seen.add(n.id)
                 yield n
 
+    def invalidate_routing(self) -> None:
+        """Drop memoised lookups after a routing-table change.
+
+        Must be called by anything that mutates ``fingers``, ``successors``
+        or ``id`` — :meth:`ChordRing.rebuild_tables` and the stabilisation
+        protocol's repair steps are the two mutation sites.  ``next_hop`` is
+        a pure function of those inputs, so between invalidations the memo
+        is exact.
+        """
+        self.table_version += 1
+        self._nh_cache.clear()
+
     def next_hop(self, key: int) -> ChordNode:
         """Closest table entry strictly preceding ``key`` on the ring.
 
@@ -98,7 +123,16 @@ class ChordNode:
         node — meaning this node believes itself the key's predecessor.
         Entries whose identifier *equals* the key are never returned (the
         owner is reached via its predecessor's successor pointer).
+
+        Memoised per key until :meth:`invalidate_routing` — the routing
+        algorithms look the same prefix key up several times per hop (the
+        split check and the forwarding pass), and popular short prefixes
+        recur across queries.
         """
+        cache = self._nh_cache
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
         target = cw_distance(self.id, key, self.m)
         if target == 0:
             # key == self.id: route the full ring to reach our predecessor.
@@ -111,6 +145,9 @@ class ChordNode:
             d = cw_distance(self.id, cand.id, self.m)
             if d < target and d > best_d:
                 best, best_d = cand, d
+        if len(cache) >= self.NH_CACHE_MAX:
+            cache.clear()
+        cache[key] = best
         return best
 
     def owns(self, key: int) -> bool:

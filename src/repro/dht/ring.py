@@ -229,9 +229,11 @@ class ChordRing:
             idx[idx == n] = 0
             for pos, node in enumerate(nodes):
                 node.fingers = [nodes[i] for i in idx[pos]] if n > 1 else []
+                node.invalidate_routing()
             return
         for node in nodes:
             node.fingers = self._fingers_for(node, id_arr, nodes, two_m)
+            node.invalidate_routing()
 
     def _fingers_for(
         self,

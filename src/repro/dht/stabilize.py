@@ -209,8 +209,12 @@ class StabilizationProtocol(Protocol):
     # -- the Chord maintenance operations -------------------------------------------------
 
     def _first_live_successor(self, node: ChordNode) -> ChordNode | None:
+        pruned = False
         while node.successors and not node.successors[0].alive:
             node.successors.pop(0)
+            pruned = True
+        if pruned:
+            node.invalidate_routing()
         return node.successors[0] if node.successors else None
 
     def _recover_successor(self, node: ChordNode) -> ChordNode | None:
@@ -239,6 +243,7 @@ class StabilizationProtocol(Protocol):
             if succ is None:
                 return
             node.successors = [succ]
+            node.invalidate_routing()
         # ask successor for its predecessor (request + response)
         if not self._control_message(node, succ):
             return
@@ -253,6 +258,7 @@ class StabilizationProtocol(Protocol):
         ):
             node.successors.insert(0, x)
             del node.successors[self.ring.successor_list_len :]
+            node.invalidate_routing()
             succ = x
         # notify
         if self._control_message(node, succ):
@@ -278,6 +284,7 @@ class StabilizationProtocol(Protocol):
         if not self._control_message(succ, node):
             return
         node.successors = self._merged_successors(node, succ)
+        node.invalidate_routing()
 
     def _merged_successors(self, node: ChordNode, succ: ChordNode) -> list[ChordNode]:
         """``[succ] + succ.successors``, live, deduplicated, length-capped."""
@@ -337,6 +344,7 @@ class StabilizationProtocol(Protocol):
         while len(node.fingers) <= level:
             node.fingers.append(node)
         node.fingers[level] = owner
+        node.invalidate_routing()
 
     # -- membership under churn ---------------------------------------------------------------
 
@@ -362,6 +370,7 @@ class StabilizationProtocol(Protocol):
             node.successors = [node]
         node.predecessor = None
         node.fingers = []
+        node.invalidate_routing()
         # register in the ring's membership (oracle views used for verification)
         self.ring.nodes_by_id[node.id] = node
         import bisect
@@ -391,6 +400,7 @@ class StabilizationProtocol(Protocol):
                 pred = node.predecessor
                 pred.successors.insert(0, succ)
                 del pred.successors[self.ring.successor_list_len :]
+                pred.invalidate_routing()
                 if succ.predecessor is node:
                     succ.predecessor = pred
             self.stats.leaves += 1

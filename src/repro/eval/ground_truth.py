@@ -45,13 +45,20 @@ def batch_exact_top_k(
     With ``radius`` given, candidates farther than ``radius`` are excluded
     *before* the top-k cut — the ground truth for a range-limited
     near-neighbour query (matching what the distributed system can return).
+
+    Distances go through :meth:`repro.metric.base.Metric.many_to_many`
+    (column-exact with ``one_to_many``), so the batch ground truth agrees
+    bit for bit with per-query :func:`exact_top_k` — ``pairwise`` overrides
+    may use faster non-identical kernels (the Euclidean expansion trick).
     """
     n_q = queries.shape[0] if hasattr(queries, "shape") else len(queries)
     out: list[np.ndarray] = []
     for start in range(0, n_q, chunk):
         stop = min(start + chunk, n_q)
         block = take(queries, np.arange(start, stop))
-        d = metric.pairwise(block, dataset)
+        # rows must be one_to_many(query, dataset); many_to_many computes
+        # columns that way, hence the transposed call.
+        d = metric.many_to_many(dataset, block).T
         for row in d:
             if radius is not None:
                 eligible = np.flatnonzero(row <= radius)

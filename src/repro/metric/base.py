@@ -55,8 +55,32 @@ class Metric:
         return np.asarray([self.distance(x, y) for y in ys], dtype=np.float64)
 
     def pairwise(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
-        """``len(xs) x len(ys)`` distance matrix."""
+        """``len(xs) x len(ys)`` distance matrix.
+
+        Overrides may trade exactness for speed (e.g. the Euclidean
+        expansion trick); use :meth:`many_to_many` where bit-identical
+        agreement with :meth:`one_to_many` matters.
+        """
         return np.stack([self.one_to_many(x, ys) for x in xs])
+
+    def many_to_many(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
+        """``(len(xs), len(ys))`` distance matrix, column-exact by contract.
+
+        Column ``j`` is guaranteed bit-identical to
+        ``one_to_many(ys[j], xs)`` — the contract landmark embedding relies
+        on: an object projected alone must land on exactly the same index
+        point as when projected in a batch (deterministic replay compares
+        the two paths bit for bit).  The generic implementation runs one
+        ``one_to_many`` pass per column; vector metrics override it with a
+        single broadcast kernel whose equality with the column loop is
+        enforced by the batch-equivalence property tests.
+        """
+        n_ys = ys.shape[0] if hasattr(ys, "shape") and getattr(ys, "ndim", 1) >= 2 else len(ys)
+        if n_ys == 0:
+            n_xs = xs.shape[0] if hasattr(xs, "shape") and getattr(xs, "ndim", 1) >= 2 else len(xs)
+            return np.empty((n_xs, 0), dtype=np.float64)
+        cols = [self.one_to_many(ys[j], xs) for j in range(n_ys)]
+        return np.stack(cols, axis=1)
 
     # -- naming -------------------------------------------------------------
 

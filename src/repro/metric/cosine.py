@@ -68,7 +68,11 @@ class AngularMetric(Metric):
         if nx == 0.0:
             return out
         ok = ny > 0.0
-        cos = (Y[ok] @ x) / (ny[ok] * nx)
+        # einsum, not ``Y @ x``: BLAS gemv picks different kernels for
+        # different row counts, so the matvec is not batch-size invariant at
+        # the last ulp; einsum reduces each row identically regardless of
+        # batch shape, which project()/project_one() equivalence relies on.
+        cos = np.einsum("ij,j->i", Y[ok], x) / (ny[ok] * nx)
         out[ok] = _safe_arccos(cos)
         return out
 

@@ -89,6 +89,48 @@ class MinkowskiMetric(Metric):
             return diff.sum(axis=1)
         return (diff**self.p).sum(axis=1) ** (1.0 / self.p)
 
+    def many_to_many(self, xs: Sequence[np.ndarray], ys: Sequence[np.ndarray]) -> np.ndarray:
+        # One broadcast kernel instead of one one_to_many pass per column.
+        # Row blocks are chunked so the (chunk, n_ys, dim) difference tensor
+        # stays cache-sized; every arithmetic step operates row-wise, so the
+        # result is bit-identical to the column-loop contract of the base
+        # class (enforced by tests/test_batch_equivalence.py).
+        X = np.asarray(xs, dtype=np.float64)
+        Y = np.asarray(ys, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        if Y.ndim == 1:
+            Y = Y[None, :]
+        n, d = X.shape
+        k = Y.shape[0]
+        out = np.empty((n, k), dtype=np.float64)
+        # L1/L2-cache-sized chunks (the sweep in docs/performance.md puts the
+        # knee at ~512 KiB for the difference tensor) and one preallocated
+        # scratch buffer reused across chunks, so the hot loop allocates
+        # nothing.  out=-ops keep each arithmetic step row-wise, preserving
+        # the bit-exact column-loop contract of the base class.
+        chunk = max(1, (512 << 10) // max(1, k * d * 8))
+        buf = np.empty((min(chunk, n), k, d), dtype=np.float64)
+        for s in range(0, n, chunk):
+            rows = min(chunk, n - s)
+            diff = np.subtract(X[s : s + rows, None, :], Y[None, :, :], out=buf[:rows])
+            np.abs(diff, out=diff)
+            if math.isinf(self.p):
+                diff.max(axis=2, out=out[s : s + rows])
+            elif self.p == 2.0:
+                np.sqrt(
+                    np.einsum("ijk,ijk->ij", diff, diff), out=out[s : s + rows]
+                )
+            elif self.p == 1.0:
+                diff.sum(axis=2, out=out[s : s + rows])
+            else:
+                np.power(diff, self.p, out=diff)
+                diff.sum(axis=2, out=out[s : s + rows])
+                np.power(
+                    out[s : s + rows], 1.0 / self.p, out=out[s : s + rows]
+                )
+        return out
+
     def pairwise(self, xs: Sequence[np.ndarray], ys: Sequence[np.ndarray]) -> np.ndarray:
         X = np.asarray(xs, dtype=np.float64)
         Y = np.asarray(ys, dtype=np.float64)

@@ -5,7 +5,7 @@ King-like matrix standing in for the King dataset), message size accounting
 per the paper's byte model, and per-query cost statistics.
 """
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import EventHandle, Simulator
 from repro.sim.king import (
     KING_MEAN_RTT,
     KING_N_HOSTS,
@@ -36,6 +36,7 @@ from repro.sim.transport import (
 
 __all__ = [
     "Simulator",
+    "EventHandle",
     "LatencyModel",
     "ConstantLatency",
     "MatrixLatency",

@@ -26,6 +26,7 @@ __all__ = [
     "result_message_size",
     "register_message",
     "message_schema",
+    "message_record",
     "QueryMessage",
     "ResultMessage",
     "ResultEntry",
@@ -52,6 +53,22 @@ def message_schema() -> dict[str, tuple[str, ...]]:
     """Snapshot of the registered message trace schema (name -> fields)."""
     return dict(_MESSAGE_SCHEMA)
 
+
+def message_record(msg: Any) -> dict[str, Any]:
+    """Shallow field dict of a registered message instance.
+
+    The compat shim for trace consumers: message dataclasses are
+    ``slots=True`` (no ``__dict__``/``vars()``), so consumers that need a
+    field mapping — replay diffing, dashboards — read it through the
+    registered schema instead.  Shallow on purpose: nested values (e.g.
+    ``ResultEntry`` lists) are passed through unconverted, matching what
+    ``vars()`` used to return.
+    """
+    names = _MESSAGE_SCHEMA.get(type(msg).__name__)
+    if names is None:
+        raise TypeError(f"{type(msg).__name__} is not a registered message")
+    return {name: getattr(msg, name) for name in names}
+
 PACKET_HEADER_BYTES = 20
 SOURCE_IP_BYTES = 4
 COORD_BYTES = 2
@@ -71,7 +88,7 @@ def result_message_size(n_entries: int) -> int:
     return PACKET_HEADER_BYTES + RESULT_ENTRY_BYTES * n_entries
 
 
-@dataclass
+@dataclass(slots=True)
 class ResultEntry:
     """One index entry returned to the querier: object id + its distance."""
 
@@ -80,7 +97,7 @@ class ResultEntry:
 
 
 @register_message
-@dataclass
+@dataclass(slots=True)
 class QueryMessage:
     """A bundle of subqueries of one original query travelling one DHT link.
 
@@ -102,7 +119,7 @@ class QueryMessage:
 
 
 @register_message
-@dataclass
+@dataclass(slots=True)
 class ResultMessage:
     """Results flowing from an index node back to the querying node."""
 

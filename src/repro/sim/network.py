@@ -32,11 +32,17 @@ class LatencyModel:
     def latency_row(self, a: int, hosts: np.ndarray) -> np.ndarray:
         """Vectorised delays from ``a`` to each host in ``hosts``.
 
-        Subclasses with array-backed state override this; the base version
-        falls back to scalar lookups (used by PNS finger selection, which
-        evaluates many candidates per finger).
+        Every shipped model overrides this with direct array slicing; the
+        base version is the black-box fallback — one scalar lookup per host,
+        streamed through ``fromiter`` into a preallocated array (used by PNS
+        finger selection, which evaluates many candidates per finger).
         """
-        return np.asarray([self.latency(a, int(b)) for b in hosts], dtype=np.float64)
+        hosts = np.asarray(hosts)
+        return np.fromiter(
+            (self.latency(a, int(b)) for b in hosts),
+            dtype=np.float64,
+            count=len(hosts),
+        )
 
     def mean_rtt(self, sample: int = 2000, seed: int = 0) -> float:
         """Estimate the mean round-trip time over random distinct host pairs."""
@@ -60,6 +66,12 @@ class ConstantLatency(LatencyModel):
 
     def latency(self, a: int, b: int) -> float:
         return 0.0 if a == b else self.delay
+
+    def latency_row(self, a: int, hosts: np.ndarray) -> np.ndarray:
+        hosts = np.asarray(hosts, dtype=np.intp)
+        out = np.full(len(hosts), self.delay, dtype=np.float64)
+        out[hosts == a] = 0.0
+        return out
 
 
 class MatrixLatency(LatencyModel):
@@ -98,10 +110,10 @@ class EuclideanLatency(LatencyModel):
         self.base = float(base)
 
     def latency(self, a: int, b: int) -> float:
-        if a == b:
-            return 0.0
-        d = float(np.linalg.norm(self.coords[a] - self.coords[b]))
-        return self.base + self.seconds_per_unit * d
+        # Delegate to the row kernel so scalar and vectorised lookups share
+        # one floating-point path (1-D ``np.linalg.norm`` uses a scaled nrm2
+        # that differs from the axis reduction at the last ulp).
+        return float(self.latency_row(a, np.array([b], dtype=np.intp))[0])
 
     def latency_row(self, a: int, hosts: np.ndarray) -> np.ndarray:
         hosts = np.asarray(hosts, dtype=np.intp)

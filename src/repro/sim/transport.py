@@ -37,7 +37,7 @@ from dataclasses import asdict, dataclass
 from collections.abc import Callable
 from typing import Any
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import EventHandle, Simulator
 from repro.util.rng import spawn_rngs
 
 __all__ = [
@@ -166,37 +166,10 @@ class MessageTrace:
     attempt: int = 1
 
 
-class TimerHandle:
-    """A cancelable local timer scheduled on the simulator.
-
-    The discrete-event heap cannot remove entries, so cancellation is lazy:
-    the queued event stays in place and fires as a no-op.  ``cancel()`` is
-    idempotent; ``active`` is True until the timer either fires or is
-    cancelled.
-    """
-
-    __slots__ = ("_fn", "_args", "_done")
-
-    def __init__(self, fn: Callable, args: tuple[Any, ...]) -> None:
-        self._fn = fn
-        self._args = args
-        self._done = False
-
-    @property
-    def active(self) -> bool:
-        return not self._done
-
-    def cancel(self) -> None:
-        self._done = True
-        self._fn = None
-        self._args = ()
-
-    def _fire(self) -> None:
-        if self._done:
-            return
-        fn, args = self._fn, self._args
-        self.cancel()
-        fn(*args)
+#: Cancelable timers are engine-level events now: cancellation tombstones
+#: the heap entry so the dispatch loop skips the callback entirely, instead
+#: of firing a no-op.  The old name stays exported for existing callers.
+TimerHandle = EventHandle
 
 
 class TraceSink:
@@ -361,16 +334,13 @@ class Transport:
 
     def timer_cancelable(self, delay: float, fn: Callable, *args: Any) -> TimerHandle:
         """Like :meth:`timer`, returning a handle that can cancel the firing
-        (retransmission timeouts, per-query deadlines)."""
-        handle = TimerHandle(fn, args)
-        self.sim.schedule_in(delay, handle._fire)
-        return handle
+        (retransmission timeouts, per-query deadlines).  Cancellation
+        tombstones the queued event — the engine skips dispatch entirely."""
+        return self.sim.schedule_cancelable_in(delay, fn, *args)
 
     def at_cancelable(self, time: float, fn: Callable, *args: Any) -> TimerHandle:
         """Like :meth:`at`, returning a cancelable :class:`TimerHandle`."""
-        handle = TimerHandle(fn, args)
-        self.sim.schedule_at(time, handle._fire)
-        return handle
+        return self.sim.schedule_cancelable_at(time, fn, *args)
 
     # -- network model ---------------------------------------------------------
 

@@ -7,7 +7,7 @@ from repro.sim.messages import register_message
 
 
 @register_message
-@dataclass
+@dataclass(slots=True)
 class PongMessage:
     src: int
     dst: int

@@ -1,0 +1,13 @@
+# lint-fixture-module: repro.sim.fixture_slotted
+"""CON303 clean twin: the registered message dataclass is slotted."""
+
+from dataclasses import dataclass
+
+from repro.sim.messages import register_message
+
+
+@register_message
+@dataclass(slots=True)
+class EchoMessage:
+    src: int
+    dst: int

@@ -1,0 +1,13 @@
+# lint-fixture-module: repro.sim.fixture_unslotted
+"""CON303 trip: a registered message dataclass without ``slots=True``."""
+
+from dataclasses import dataclass
+
+from repro.sim.messages import register_message
+
+
+@register_message
+@dataclass  # CON303: registered message must declare slots=True
+class ProbeMessage:
+    src: int
+    dst: int

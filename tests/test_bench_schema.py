@@ -1,0 +1,180 @@
+"""The bench layer: BenchResult schema, regression gate, legacy-table migration.
+
+Covers the JSON round-trip, the speedup-ratio regression semantics the CI
+gate relies on (identical runs pass, a synthetic 25% candidate slowdown
+fails the default 20% threshold), the geomean summary, the one-shot
+``.txt``-to-JSON converter on the real committed results, and
+``repro.eval.report.read_result_file`` rendering both formats.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    BenchResult,
+    BenchSection,
+    check_regression,
+    convert_text_table,
+    geomean_speedup,
+)
+from repro.eval.report import read_result_file
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+
+
+def make_result(embed_speedup: float = 8.0, loop_speedup: float = 2.0) -> BenchResult:
+    r = BenchResult.new("perf", quick=True)
+    r.sections.append(BenchSection(
+        name="embedding", baseline_label="loop", candidate_label="batch",
+        baseline_s=embed_speedup, candidate_s=1.0, repeats=3,
+    ))
+    r.sections.append(BenchSection(
+        name="event_loop", baseline_label="legacy", candidate_label="live",
+        baseline_s=loop_speedup, candidate_s=1.0, repeats=3,
+    ))
+    return r
+
+
+class TestSchema:
+    def test_round_trip(self, tmp_path):
+        r = make_result()
+        r.summary = {"geomean": 4.0}
+        path = tmp_path / "BENCH_perf.json"
+        r.write(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SCHEMA
+        loaded = BenchResult.load(str(path))
+        assert loaded.suite == "perf"
+        assert loaded.quick is True
+        assert loaded.summary == {"geomean": 4.0}
+        assert loaded.section("embedding").speedup == pytest.approx(8.0)
+        assert loaded.machine == r.machine
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"schema": "other/9", "suite": "x"}')
+        with pytest.raises(ValueError, match="not a repro-bench/1"):
+            BenchResult.load(str(path))
+
+    def test_speedup_none_for_tables(self):
+        sec = BenchSection(name="grid", kind="table", headers=["a"], rows=[[1]])
+        assert sec.speedup is None
+
+    def test_geomean(self):
+        r = make_result(embed_speedup=8.0, loop_speedup=2.0)
+        assert geomean_speedup(r) == pytest.approx(4.0)
+        assert geomean_speedup(r, ["embedding"]) == pytest.approx(8.0)
+        assert geomean_speedup(BenchResult.new("empty")) is None
+
+
+class TestRegressionGate:
+    def test_identical_runs_pass(self):
+        assert check_regression(make_result(), make_result(), 0.2) == []
+
+    def test_synthetic_25pct_slowdown_fails_default_gate(self):
+        baseline = make_result(embed_speedup=8.0)
+        current = make_result(embed_speedup=8.0)
+        sec = current.section("embedding")
+        sec.candidate_s = sec.candidate_s * 1.25  # candidate got 25% slower
+        problems = check_regression(current, baseline, 0.2)
+        assert len(problems) == 1
+        assert "embedding" in problems[0] and "regressed" in problems[0]
+
+    def test_small_jitter_within_threshold_passes(self):
+        baseline = make_result(embed_speedup=8.0)
+        current = make_result(embed_speedup=8.0)
+        current.section("embedding").candidate_s *= 1.1  # 10% < 20% allowed
+        assert check_regression(current, baseline, 0.2) == []
+
+    def test_missing_section_is_reported(self):
+        current = make_result()
+        current.sections = [s for s in current.sections if s.name != "event_loop"]
+        problems = check_regression(current, make_result(), 0.2)
+        assert len(problems) == 1
+        assert "event_loop" in problems[0] and "missing" in problems[0]
+
+    def test_faster_current_passes(self):
+        baseline = make_result(embed_speedup=8.0)
+        current = make_result(embed_speedup=16.0)
+        assert check_regression(current, baseline, 0.2) == []
+
+
+class TestLegacyConverter:
+    def test_figure2_blocks(self):
+        r = convert_text_table(RESULTS_DIR / "figure2.txt")
+        assert r.suite == "figure2"
+        assert r.summary["title"].startswith("Figure 2")
+        names = [s.name for s in r.sections]
+        assert names == [
+            "recall", "hops", "response_time", "max_latency",
+            "total_bytes", "query_messages", "index_nodes",
+        ]
+        recall = r.section("recall")
+        assert recall.kind == "table"
+        assert recall.headers == [
+            "range%", "Greedy-5", "Greedy-10", "Kmean-5", "Kmean-10",
+        ]
+        # cells parse to numbers; the range column keeps its % strings
+        row = recall.rows[4]
+        assert row[0] == "5%"
+        assert row[1] == pytest.approx(0.955)
+
+    def test_single_table_file(self):
+        r = convert_text_table(RESULTS_DIR / "table2.txt")
+        (sec,) = r.sections
+        assert sec.headers[0] == "statistic"
+        assert ["minimum", 1, 1.0] in sec.rows
+
+    def test_round_trips_through_schema(self, tmp_path):
+        r = convert_text_table(RESULTS_DIR / "ablation_knn.txt")
+        path = tmp_path / "knn.json"
+        r.write(str(path))
+        loaded = BenchResult.load(str(path))
+        assert loaded.section(r.sections[0].name).rows == r.sections[0].rows
+
+    def test_committed_json_siblings_match_txt(self):
+        # the one-shot migration committed a .json next to every .txt;
+        # they must stay in sync with the text tables
+        for txt in sorted(RESULTS_DIR.glob("*.txt")):
+            sibling = txt.with_suffix(".json")
+            assert sibling.exists(), f"missing converted sibling for {txt.name}"
+            fresh = convert_text_table(txt)
+            committed = BenchResult.load(str(sibling))
+            assert [s.to_json() for s in committed.sections] == [
+                s.to_json() for s in fresh.sections
+            ], txt.name
+
+
+class TestReportReader:
+    def test_reads_txt_verbatim(self):
+        path = RESULTS_DIR / "table2.txt"
+        assert read_result_file(str(path)) == path.read_text().rstrip("\n")
+
+    def test_renders_bench_json(self, tmp_path):
+        r = make_result()
+        r.summary = {"geomean": 4.0}
+        path = tmp_path / "BENCH_perf.json"
+        r.write(str(path))
+        text = read_result_file(str(path))
+        assert "[suite perf]" in text
+        assert "embedding" in text and "event_loop" in text
+        assert "geomean" in text
+
+    def test_renders_converted_tables(self, tmp_path):
+        path = tmp_path / "figure2.json"
+        convert_text_table(RESULTS_DIR / "figure2.txt").write(str(path))
+        text = read_result_file(str(path))
+        assert "[recall]" in text
+        assert "Greedy-10" in text
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"schema": "nope"}')
+        with pytest.raises(ValueError):
+            read_result_file(str(path))

@@ -1,0 +1,31 @@
+"""Golden replay bundles pin the engine's exact event schedule.
+
+The four bundles under ``tests/golden/replay/`` were recorded before the
+hot-path vectorization (PR 6) and cover both fault-free and faulty
+scenarios.  Any optimisation that perturbs a single event's time, order or
+fault draw flips the fingerprint — these tests are the bit-identical
+gate named in ISSUE 6's acceptance criteria, run as part of tier-1 rather
+than only by hand via ``repro replay``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.check.replay import replay_file
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden" / "replay"
+BUNDLES = sorted(GOLDEN_DIR.glob("*.json"))
+
+
+def test_golden_bundles_exist():
+    assert len(BUNDLES) == 4, [b.name for b in BUNDLES]
+
+
+@pytest.mark.parametrize("bundle", BUNDLES, ids=lambda b: b.stem)
+def test_replay_is_bit_identical(bundle):
+    identical, diffs, report = replay_file(bundle)
+    assert identical, f"{bundle.name} diverged from its recording: {diffs}"
+    assert report.fingerprint.events > 0

@@ -34,7 +34,7 @@ FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
 RULE_IDS = (
     "DET101", "DET102", "DET103", "DET104",
     "ARCH201", "ARCH202", "ARCH203",
-    "CON301", "CON302",
+    "CON301", "CON302", "CON303",
 )
 
 
