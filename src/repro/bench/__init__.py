@@ -10,6 +10,7 @@ required before landing any optimization.
 from repro.bench.convert import convert_results_dir, convert_text_table
 from repro.bench.e2e import run_e2e
 from repro.bench.micro import run_perf
+from repro.bench.scale import run_scale, run_scale_smoke
 from repro.bench.schema import (
     SCHEMA,
     BenchResult,
@@ -32,4 +33,6 @@ __all__ = [
     "machine_fingerprint",
     "run_e2e",
     "run_perf",
+    "run_scale",
+    "run_scale_smoke",
 ]

@@ -1,0 +1,242 @@
+"""The ``scale`` bench suite: the compact substrates vs the object graph.
+
+Two paired timings on identical membership (classic fingers, no PNS — the
+configuration where :meth:`CompactChordRing.route_batch` is hop-for-hop
+identical to :meth:`ChordRing.lookup_path`):
+
+* **ring_build** — a stabilised ring from scratch: per-object
+  :meth:`ChordRing.build` versus array-backed
+  :meth:`CompactChordRing.build`;
+* **query_routing** — the same lookups through the per-node Python greedy
+  loop versus one batched vectorised sweep.
+
+The summary carries the scale headline numbers ISSUE 7 targets: nodes/sec
+joined and queries/sec at 10k nodes, peak RSS at the 10k and 100k marks,
+and — in full (non-quick) mode — the wall-clock of the complete
+100k-node / 1M-query :class:`repro.core.scale.ScaleSimulation` run, which
+must land under ten minutes.
+
+``ru_maxrss`` is a process-lifetime high-water mark, so the two RSS figures
+are "peak reached by the end of that phase" (the 10k phase runs first);
+they bound the phase's true peak from above only if later phases are
+larger, which here they are.
+
+This module also hosts :func:`run_scale_smoke`, the CI ``scale-smoke``
+job's entry point — wall-clock measurement belongs to the bench layer (the
+DET101 exemption), so the simulation core stays clock-free.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+
+import numpy as np
+
+from repro.bench.schema import BenchResult, BenchSection
+from repro.core.scale import ScaleConfig, ScaleSimulation
+from repro.dht.compact import CompactChordRing
+from repro.dht.ring import ChordRing
+from repro.obs import format_hotspot_report
+from repro.obs.registry import MetricsRegistry
+from repro.sim.king import king_coordinate_model
+
+__all__ = ["run_scale", "run_scale_smoke"]
+
+
+def _peak_rss_mb() -> float:
+    """Process-lifetime peak resident set, MB (ru_maxrss is KB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _median(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def _bench_ring_build(n_nodes: int, repeats: int) -> BenchSection:
+    def object_build() -> None:
+        ChordRing.build(n_nodes, seed=7, pns=False, id_source="random")
+
+    def compact_build() -> None:
+        CompactChordRing.build(n_nodes, seed=7)
+
+    return BenchSection(
+        name="ring_build",
+        baseline_label=f"ChordRing.build({n_nodes})",
+        candidate_label=f"CompactChordRing.build({n_nodes})",
+        baseline_s=_median(object_build, repeats),
+        candidate_s=_median(compact_build, repeats),
+        repeats=repeats,
+        meta={"n_nodes": n_nodes},
+    )
+
+
+def _bench_query_routing(n_nodes: int, n_queries: int, repeats: int) -> BenchSection:
+    ring = ChordRing.build(n_nodes, seed=7, pns=False, id_source="random")
+    comp = CompactChordRing.from_ring(ring)
+    by_slot = [ring.nodes_by_id[int(i)] for i in comp.ids]
+    rng = np.random.default_rng(11)
+    keys = rng.integers(0, 1 << 63, size=n_queries, dtype=np.uint64)
+    src = rng.integers(0, n_nodes, size=n_queries)
+
+    def object_lookups() -> None:
+        for i in range(n_queries):
+            ring.lookup_path(by_slot[src[i]], int(keys[i]))
+
+    def batched_lookups() -> None:
+        comp.route_batch(src, keys)
+
+    return BenchSection(
+        name="query_routing",
+        baseline_label=f"{n_queries} x lookup_path ({n_nodes} nodes)",
+        candidate_label="route_batch, one sweep",
+        baseline_s=_median(object_lookups, repeats),
+        candidate_s=_median(batched_lookups, repeats),
+        repeats=repeats,
+        meta={"n_nodes": n_nodes, "n_queries": n_queries},
+    )
+
+
+def run_scale(quick: bool = False, repeats: int | None = None) -> BenchResult:
+    """Run the scale suite and return its :class:`BenchResult`."""
+    if repeats is None:
+        repeats = 3 if quick else 5
+    # the paired sections keep full size even in quick mode — the regression
+    # gate compares speedup ratios against the committed full-mode baseline,
+    # and the object/compact ratio shifts with ring size (the object ring's
+    # next-hop memo warms differently); only the repeats and the 100k summary
+    # run shrink under --quick.
+    n_nodes = 10_000
+    n_queries = 10_000
+    result = BenchResult.new("scale", quick=quick)
+    result.sections.append(_bench_ring_build(n_nodes, repeats))
+    result.sections.append(_bench_query_routing(n_nodes, n_queries, repeats))
+
+    # -- headline throughput/memory numbers (compact substrate only) ---------
+    t0 = time.perf_counter()
+    comp = CompactChordRing.build(n_nodes, seed=3)
+    extra = np.setdiff1d(
+        np.random.default_rng(5).integers(0, 1 << 63, size=n_nodes, dtype=np.uint64),
+        comp.ids,
+    )
+    comp.bulk_join(extra, np.arange(len(extra), dtype=np.int64))
+    join_s = time.perf_counter() - t0
+    nodes_per_sec_10k = (n_nodes + len(extra)) / join_s
+
+    sim_small = ScaleSimulation(
+        ScaleConfig(
+            n_nodes=n_nodes,
+            n_objects=n_nodes,
+            n_queries=n_queries,
+            chunk=max(1, n_queries // 4),
+        ),
+        latency=king_coordinate_model(n_hosts=n_nodes, seed=3),
+    )
+    sim_small.check_invariants()
+    t0 = time.perf_counter()
+    rep_small = sim_small.run()
+    small_s = time.perf_counter() - t0
+    rss_small_mb = _peak_rss_mb()
+
+    summary: dict[str, object] = {
+        "nodes_per_sec_joined_10k": round(nodes_per_sec_10k),
+        "queries_per_sec_10k": round(rep_small.n_queries / small_s),
+        "peak_rss_mb_10k": round(rss_small_mb, 1),
+        "mean_hops_10k": round(rep_small.mean_hops, 2),
+        "per_section_speedups": {
+            s.name: round(s.speedup, 2)
+            for s in result.sections
+            if s.speedup is not None
+        },
+    }
+
+    if not quick:
+        cfg = ScaleConfig()  # the 100k-node / 1M-query target
+        t0 = time.perf_counter()
+        sim_big = ScaleSimulation(
+            cfg, latency=king_coordinate_model(n_hosts=cfg.n_nodes, seed=3)
+        )
+        build_s = time.perf_counter() - t0
+        sim_big.check_invariants()
+        t0 = time.perf_counter()
+        rep_big = sim_big.run()
+        route_s = time.perf_counter() - t0
+        summary.update(
+            {
+                "build_sec_100k": round(build_s, 2),
+                "route_1m_sec_100k": round(route_s, 2),
+                "total_sec_100k_1m": round(build_s + route_s, 2),
+                "under_10_min": bool(build_s + route_s < 600.0),
+                "queries_per_sec_100k": round(rep_big.n_queries / route_s),
+                "nodes_per_sec_built_100k": round(cfg.n_nodes / build_s),
+                "peak_rss_mb_100k": round(_peak_rss_mb(), 1),
+                "mean_hops_100k": round(rep_big.mean_hops, 2),
+                "latency_p50_s_100k": round(rep_big.latency_p50_s, 4),
+                "storage_gini_100k": round(
+                    float(rep_big.storage_load.get("gini", 0.0)), 3
+                ),
+            }
+        )
+    result.summary = summary
+    return result
+
+
+def run_scale_smoke(
+    n_nodes: int = 10_000,
+    n_queries: int = 10_000,
+    budget_s: float = 120.0,
+    seed: int = 0,
+) -> int:
+    """The CI ``scale-smoke`` job: build, route, check, report, enforce budget.
+
+    Runs a 10k-node / 10k-query :class:`ScaleSimulation` with invariant
+    checking on and full observability, prints the health trace and the
+    Fig. 4-analogue Gini/hotspot report, and fails (non-zero) if wall-clock
+    exceeds ``budget_s``.
+    """
+    registry = MetricsRegistry()
+    cfg = ScaleConfig(
+        n_nodes=n_nodes,
+        n_objects=n_nodes,
+        n_queries=n_queries,
+        chunk=max(1, n_queries // 8),
+        seed=seed,
+    )
+    t0 = time.perf_counter()
+    sim = ScaleSimulation(
+        cfg,
+        latency=king_coordinate_model(n_hosts=n_nodes, seed=seed),
+        registry=registry,
+    )
+    sim.check_invariants()
+    report = sim.run()
+    sim.check_invariants()
+    elapsed = time.perf_counter() - t0
+    print(f"[scale-smoke] {n_nodes} nodes, {report.n_queries} queries "
+          f"in {elapsed:.1f}s (budget {budget_s:.0f}s)")
+    print(f"  mean hops {report.mean_hops:.2f}  "
+          f"latency p50 {report.latency_p50_s * 1e3:.1f}ms "
+          f"p99 {report.latency_p99_s * 1e3:.1f}ms")
+    print("  " + format_hotspot_report(report.storage_load, title="stored entries"))
+    print("  " + format_hotspot_report(report.forwarding_load, title="forwarding visits"))
+    print(f"  health samples: {report.health_samples}  "
+          f"local solves: {report.local_solves} "
+          f"(mean hits {report.local_hits_mean:.2f})")
+    for s in sim.sampler.samples:
+        deciles = ", ".join(f"{v:.0f}" for v in s.load_deciles[-3:])
+        print(f"    t={s.time:>5.1f}s queue={s.event_queue_depth} "
+              f"top-deciles=[{deciles}]")
+    if report.health_samples == 0:
+        print("[scale-smoke] FAIL: health sampler never ticked")
+        return 1
+    if elapsed > budget_s:
+        print(f"[scale-smoke] FAIL: exceeded wall-clock budget "
+              f"({elapsed:.1f}s > {budget_s:.0f}s)")
+        return 1
+    print("[scale-smoke] OK")
+    return 0

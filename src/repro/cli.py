@@ -136,7 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the performance suites, writing BENCH_perf.json / "
              "BENCH_e2e.json (see docs/performance.md)",
     )
-    bench.add_argument("--suite", choices=("perf", "e2e", "all"), default="all")
+    bench.add_argument("--suite", choices=("perf", "e2e", "scale", "all"), default="all")
     bench.add_argument("--quick", action="store_true",
                        help="small sizes / few repeats (the CI smoke mode)")
     bench.add_argument("--repeats", type=int, default=None,
@@ -153,6 +153,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--convert", metavar="DIR", default=None,
                        help="convert legacy benchmarks/results/*.txt tables in "
                             "DIR to BenchResult JSON and exit")
+
+    smoke = sub.add_parser(
+        "scale-smoke",
+        help="build a 10k-node compact ring, route 10k queries with invariant "
+             "checks and health sampling, and fail over the wall-clock budget "
+             "(the CI scale-smoke job)",
+    )
+    smoke.add_argument("--nodes", type=int, default=10_000)
+    smoke.add_argument("--queries", type=int, default=10_000)
+    smoke.add_argument("--budget", type=float, default=120.0,
+                       help="wall-clock budget in seconds (default 120)")
+    smoke.add_argument("--seed", type=int, default=0)
 
     demo = sub.add_parser(
         "obs-demo",
@@ -466,6 +478,7 @@ def _run_bench(args) -> int:
         convert_results_dir,
         run_e2e,
         run_perf,
+        run_scale,
     )
 
     if args.convert:
@@ -478,12 +491,14 @@ def _run_bench(args) -> int:
 
     out_dir = args.write or "."
     os.makedirs(out_dir, exist_ok=True)
-    suites = ("perf", "e2e") if args.suite == "all" else (args.suite,)
+    suites = ("perf", "e2e", "scale") if args.suite == "all" else (args.suite,)
     results: dict[str, BenchResult] = {}
     for suite in suites:
         print(f"[bench: running {suite} suite{' (quick)' if args.quick else ''}]")
         if suite == "perf":
             results[suite] = run_perf(quick=args.quick, repeats=args.repeats)
+        elif suite == "scale":
+            results[suite] = run_scale(quick=args.quick, repeats=args.repeats)
         else:
             results[suite] = run_e2e(quick=args.quick)
         result = results[suite]
@@ -583,6 +598,15 @@ def main(argv: list[str] | None = None) -> int:
         return _run_fuzz(args)
     elif args.command == "bench":
         return _run_bench(args)
+    elif args.command == "scale-smoke":
+        from repro.bench import run_scale_smoke
+
+        return run_scale_smoke(
+            n_nodes=args.nodes,
+            n_queries=args.queries,
+            budget_s=args.budget,
+            seed=args.seed,
+        )
     elif args.command == "obs-demo":
         _run_obs_demo(args)
     return 0

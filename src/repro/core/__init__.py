@@ -48,7 +48,8 @@ from repro.core.naive import NaiveProtocol, decompose_to_owner_cuboids
 from repro.core.platform import IndexPlatform, LandmarkIndex, QueryPayload, take
 from repro.core.query import QidAllocator, RangeQuery, Rect, query_split
 from repro.core.routing import QueryProtocol
-from repro.core.storage import Shard
+from repro.core.scale import ScaleConfig, ScaleReport, ScaleSimulation
+from repro.core.storage import Shard, ShardStore
 from repro.core.trace import QueryTrace, TraceEvent, TracingProtocol
 from repro.core.updates import UpdateProtocol, UpdateStats, entry_message_size
 
@@ -81,6 +82,10 @@ __all__ = [
     "QueryPayload",
     "take",
     "Shard",
+    "ShardStore",
+    "ScaleConfig",
+    "ScaleReport",
+    "ScaleSimulation",
     "LoadBalanceReport",
     "dynamic_load_migration",
     "hotspot_overlap",

@@ -612,7 +612,16 @@ class IndexPlatform:
             return proto.issue(q, node, at_time=at)
 
         if pipelined:
-            futures = [issue_one(i) for i in range(len(workload))]
+            # bulk injection: the clock does not advance while issuing, so
+            # the arrival clamp uses one fixed `now` — identical timestamps
+            # to the per-query loop, one heapify instead of n sift-ups
+            now = self.sim.now
+            n_ring = len(nodes)
+            futures = proto.issue_many(
+                queries,
+                [nodes[int(s) % n_ring] for s in workload.source_nodes],
+                [max(float(t), now) for t in workload.arrival_times],
+            )
             if engine is not None:
                 engine.run_until_complete(futures)
             else:

@@ -322,6 +322,39 @@ class QueryProtocol(Protocol):
             self.transport.at(at_time, self._start_root, node, query, root)
         return fut
 
+    def issue_many(
+        self,
+        queries: list,
+        nodes: list,
+        at_times: list,
+    ) -> list:
+        """Inject a batch of queries at their arrival times (bulk workload path).
+
+        Equivalent to ``[self.issue(q, n, at_time=t) for ...]`` — same stats
+        records, same event times, same sequence-number order, hence the same
+        replay digest — but without a lifecycle engine the scheduling
+        collapses into one :meth:`Transport.at_batch` heapify instead of one
+        sift-up per query.  With an engine attached, registration itself
+        arms deadline timers whose sequence numbers interleave with the
+        starts, so the per-query path is kept to preserve that exact order.
+        """
+        if self.engine is not None:
+            return [
+                self.issue(q, node, at_time=float(at))
+                for q, node, at in zip(queries, nodes, at_times)
+            ]
+        entries = []
+        for query, node, at in zip(queries, nodes, at_times):
+            at = float(at)
+            query.source = node
+            st = self.stats.for_query(query.qid)
+            st.issued_at = at
+            if self.recorder is not None:
+                self.recorder.begin_query(query.qid, node=node.id)
+            entries.append((at, self._start, (node, query)))
+        self.transport.at_batch(entries)
+        return [None] * len(entries)
+
     def _start_root(self, node: Any, query: RangeQuery, root: int | None) -> None:
         try:
             self._start(node, query)

@@ -1,0 +1,328 @@
+"""The 100k-node simulator core: the paper's pipeline on flat arrays.
+
+The object-graph simulation (:class:`repro.core.platform.IndexPlatform` over
+:class:`repro.dht.ring.ChordRing`) models every message and per-node state
+faithfully, which caps it at a few thousand nodes.  This module runs the same
+*pipeline* — clustered data, landmark projection, locality-preserving
+hashing, rotation, Chord routing, per-node shards — against the compact
+substrates built for scale:
+
+* membership + routing: :class:`repro.dht.compact.CompactChordRing`
+  (slot-keyed arrays, batched greedy lookups);
+* storage: :class:`repro.core.storage.ShardStore` (one columnar block,
+  CSR-like offsets);
+* delays: any :class:`repro.sim.LatencyModel` via its vectorised
+  ``latency_pairs`` — at full scale that is
+  :func:`repro.sim.king_coordinate_model`, whose lazy synthetic coordinates
+  replace the O(n²) King matrix.
+
+Queries advance in chunks; after each chunk the embedded
+:class:`repro.sim.Simulator` clock advances one virtual second so a
+:class:`repro.obs.HealthSampler` can tick and the run leaves a live health
+trace alongside the Fig. 4/6-analogue outputs: the per-node load vector
+(stored entries + forwarding visits, Gini/hotspot summarised) and the
+query hop/latency distributions, all recorded into the metrics registry.
+
+Wall-clock timing deliberately lives elsewhere (:mod:`repro.bench.scale`):
+this module is deterministic simulation state only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.index_space import IndexSpaceBounds
+from repro.core.landmarks import LandmarkSet, kmeans_selection
+from repro.core.lph import lp_hash_batch
+from repro.core.storage import ShardStore
+from repro.dht.compact import CompactChordRing
+from repro.dht.hashing import rotation_offset
+from repro.metric.vector import EuclideanMetric
+from repro.obs import (
+    DEFAULT_HOP_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    HealthSampler,
+    hotspot_report,
+    load_summary,
+    record_load_vector,
+)
+from repro.obs.registry import MetricsRegistry, NullRegistry
+from repro.sim import LatencyModel, Simulator
+from repro.util.rng import as_rng, derive_rng
+
+__all__ = ["ScaleConfig", "ScaleReport", "ScaleSimulation"]
+
+#: per-node gauges are only materialised up to this ring size — beyond it a
+#: 100k-label gauge would dwarf the simulation state it describes; the load
+#: vectors stay available on the report regardless.
+_LOAD_GAUGE_MAX_NODES = 20_000
+
+QUERY_LATENCY_HIST = "scale_query_latency_seconds"
+QUERY_HOPS_HIST = "scale_query_hops"
+FORWARD_LOAD_GAUGE = "scale_node_forwarding_visits"
+STORED_LOAD_GAUGE = "scale_node_stored_entries"
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Knobs of a scale run (defaults: the 100k-node / 1M-query target).
+
+    The data model is the paper's Table 1 clustered-Gaussian family, scaled
+    down in dimensionality so a 100k-object projection stays cheap; queries
+    are drawn from the same cluster structure ("the corresponding query sets
+    are generated with the same method").
+    """
+
+    n_nodes: int = 100_000
+    n_objects: int = 100_000
+    n_queries: int = 1_000_000
+    dim: int = 16
+    n_clusters: int = 10
+    deviation: float = 20.0
+    low: float = 0.0
+    high: float = 100.0
+    n_landmarks: int = 4
+    m: int = 64
+    successor_list_len: int = 16
+    index_name: str = "scale-index"
+    seed: int = 0
+    #: queries routed per vectorised round-trip; each chunk advances the
+    #: embedded simulator clock one virtual second (the health cadence).
+    chunk: int = 100_000
+    #: per-coordinate half-width of the sampled local range searches,
+    #: as a fraction of the index-space span.
+    query_range_factor: float = 0.02
+    #: how many queries additionally run the owner-side range search
+    #: (Python-loop priced, so sampled rather than exhaustive).
+    local_solve_sample: int = 2_048
+
+
+@dataclass
+class ScaleReport:
+    """Outcome of :meth:`ScaleSimulation.run` (numbers only, no wall-clock)."""
+
+    n_nodes: int
+    n_objects: int
+    n_queries: int
+    mean_hops: float
+    hops_p50: float
+    hops_p99: float
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p99_s: float
+    storage_load: dict[str, Any] = field(default_factory=dict)
+    forwarding_load: dict[str, Any] = field(default_factory=dict)
+    health_samples: int = 0
+    local_solves: int = 0
+    local_hits_mean: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "n_nodes": self.n_nodes,
+            "n_objects": self.n_objects,
+            "n_queries": self.n_queries,
+            "mean_hops": self.mean_hops,
+            "hops_p50": self.hops_p50,
+            "hops_p99": self.hops_p99,
+            "latency_mean_s": self.latency_mean_s,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p99_s": self.latency_p99_s,
+            "storage_load": self.storage_load,
+            "forwarding_load": self.forwarding_load,
+            "health_samples": self.health_samples,
+            "local_solves": self.local_solves,
+            "local_hits_mean": self.local_hits_mean,
+        }
+
+
+class ScaleSimulation:
+    """Build once, route millions: the scale-path end-to-end harness."""
+
+    def __init__(
+        self,
+        cfg: ScaleConfig,
+        latency: LatencyModel | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.cfg = cfg
+        self.latency = latency
+        self.registry = registry if registry is not None else NullRegistry()
+        rng = as_rng(cfg.seed)
+        self._rng_data = derive_rng(rng, "scale-data")
+        self._rng_query = derive_rng(rng, "scale-query")
+        self._rng_ring = derive_rng(rng, "scale-ring")
+
+        # -- data + landmark projection (Table 1 family, inline) --------------
+        self._centers = self._rng_data.uniform(
+            cfg.low, cfg.high, size=(cfg.n_clusters, cfg.dim)
+        )
+        objects = self._draw_points(self._rng_data, cfg.n_objects)
+        metric = EuclideanMetric()
+        sample_n = min(2_048, cfg.n_objects)
+        self.landmarks: LandmarkSet = kmeans_selection(
+            objects[:sample_n], metric, cfg.n_landmarks, seed=derive_rng(rng, "scale-lm")
+        )
+        proj = self.landmarks.project(objects)
+        self.bounds = IndexSpaceBounds.from_sample(proj, pad=0.05)
+        keys = lp_hash_batch(self.bounds.clip(proj), self.bounds, cfg.m)
+
+        # -- membership + distribution ----------------------------------------
+        n_hosts = latency.n_hosts if latency is not None else cfg.n_nodes
+        self.ring = CompactChordRing.build(
+            cfg.n_nodes,
+            m=cfg.m,
+            seed=self._rng_ring,
+            n_hosts=n_hosts,
+            successor_list_len=cfg.successor_list_len,
+        )
+        self.phi = np.uint64(rotation_offset(cfg.index_name, cfg.m))
+        owners = self.ring.owners_of_keys((keys + self.phi) & self.ring.mask)
+        self.store = ShardStore.build(
+            owners, keys, proj, np.arange(cfg.n_objects, dtype=np.int64), cfg.n_nodes
+        )
+
+        # -- telemetry ---------------------------------------------------------
+        self.sim = Simulator()
+        self._hist_latency = self.registry.histogram(
+            QUERY_LATENCY_HIST,
+            "End-to-end routing latency per scale query",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._hist_hops = self.registry.histogram(
+            QUERY_HOPS_HIST,
+            "Forwarding hops per scale query",
+            buckets=DEFAULT_HOP_BUCKETS,
+        )
+        self.forward_visits = np.zeros(cfg.n_nodes, dtype=np.int64)
+        self.sampler = HealthSampler(
+            self.sim,
+            interval=1.0,
+            registry=self.registry,
+            load_fn=lambda: self.forward_visits,
+            probes={"live_nodes": lambda: float(len(self.ring))},
+        )
+
+    def _draw_points(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        cfg = self.cfg
+        assignment = rng.integers(0, cfg.n_clusters, size=n)
+        pts = self._centers[assignment] + rng.normal(
+            0.0, cfg.deviation, size=(n, cfg.dim)
+        )
+        np.clip(pts, cfg.low, cfg.high, out=pts)
+        return pts
+
+    # -- invariants ---------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Structural checks over ring + store; AssertionError on violation."""
+        self.ring.check_invariants()
+        offsets = self.store.offsets
+        assert offsets[0] == 0 and offsets[-1] == len(self.store)
+        assert np.all(np.diff(offsets) >= 0), "store offsets must be monotone"
+        assert int(self.store.loads().sum()) == self.cfg.n_objects
+        # every stored entry must live on the node owning its rotated key
+        owner_of = self.ring.owners_of_keys((self.store.keys + self.phi) & self.ring.mask)
+        slot_of_row = np.repeat(
+            np.arange(self.store.n_slots, dtype=np.int64), self.store.loads()
+        )
+        assert np.array_equal(owner_of, slot_of_row), "entry stored off its owner"
+        # within each shard slice, keys are sorted (the Shard invariant)
+        for slot in np.flatnonzero(self.store.loads())[:64]:
+            ks, _, _ = self.store.slice(int(slot))
+            assert np.all(np.diff(ks.astype(np.uint64)) >= 0)
+
+    # -- the run ------------------------------------------------------------------
+
+    def run(self, n_queries: int | None = None) -> ScaleReport:
+        """Route ``n_queries`` (default: config) and return the report."""
+        cfg = self.cfg
+        nq = cfg.n_queries if n_queries is None else int(n_queries)
+        self.sampler.start(duration=float(max(1, -(-nq // cfg.chunk))) + 1.0)
+        hops_sum = 0.0
+        all_hops: list[np.ndarray] = []
+        all_lat: list[np.ndarray] = []
+        local_hits: list[int] = []
+        routed = 0
+        chunk_no = 0
+        while routed < nq:
+            size = min(cfg.chunk, nq - routed)
+            qpts = self._draw_points(self._rng_query, size)
+            qproj = self.bounds.clip(self.landmarks.project(qpts))
+            qkeys = lp_hash_batch(qproj, self.bounds, cfg.m)
+            src = self._rng_query.integers(0, cfg.n_nodes, size=size)
+            owner, hops, lat, visits = self.ring.route_batch(
+                src,
+                (qkeys + self.phi) & self.ring.mask,
+                latency=self.latency,
+                count_visits=True,
+            )
+            if visits is not None:
+                self.forward_visits += visits
+            hops_sum += float(hops.sum())
+            all_hops.append(hops)
+            all_lat.append(lat)
+            self._hist_hops.observe_many(hops.astype(np.float64))
+            self._hist_latency.observe_many(lat)
+            if chunk_no == 0 and cfg.local_solve_sample > 0:
+                local_hits = self._local_solve(
+                    qproj[: cfg.local_solve_sample], owner[: cfg.local_solve_sample]
+                )
+            routed += size
+            chunk_no += 1
+            # one virtual second per chunk lets the health sampler tick
+            # without core touching the scheduler (that is Transport's job
+            # in the object simulation; here the clock is purely a cadence).
+            self.sim.run(until=float(chunk_no))
+        hops_all = np.concatenate(all_hops) if all_hops else np.zeros(0)
+        lat_all = np.concatenate(all_lat) if all_lat else np.zeros(0)
+        stored = self.store.loads().astype(np.float64)
+        forward = self.forward_visits.astype(np.float64)
+        if cfg.n_nodes <= _LOAD_GAUGE_MAX_NODES and self.registry.enabled:
+            record_load_vector(self.registry, stored, metric=STORED_LOAD_GAUGE)
+            record_load_vector(self.registry, forward, metric=FORWARD_LOAD_GAUGE)
+        storage_load = hotspot_report(stored)
+        forwarding_load = hotspot_report(forward)
+        return ScaleReport(
+            n_nodes=cfg.n_nodes,
+            n_objects=cfg.n_objects,
+            n_queries=routed,
+            mean_hops=float(hops_all.mean()) if routed else 0.0,
+            hops_p50=float(np.percentile(hops_all, 50)) if routed else 0.0,
+            hops_p99=float(np.percentile(hops_all, 99)) if routed else 0.0,
+            latency_mean_s=float(lat_all.mean()) if routed else 0.0,
+            latency_p50_s=float(np.percentile(lat_all, 50)) if routed else 0.0,
+            latency_p99_s=float(np.percentile(lat_all, 99)) if routed else 0.0,
+            storage_load=storage_load,
+            forwarding_load=forwarding_load,
+            health_samples=len(self.sampler.samples),
+            local_solves=len(local_hits),
+            local_hits_mean=float(np.mean(local_hits)) if local_hits else 0.0,
+        )
+
+    def _local_solve(self, qproj: np.ndarray, owner: np.ndarray) -> list[int]:
+        """Owner-side rectangle searches for a sample of routed queries.
+
+        The rectangle is the paper's necessary condition: an object within
+        range ``r`` of the query satisfies ``|proj_q - proj_o| <= r`` in
+        every landmark coordinate (triangle inequality), so the owner scans
+        ``proj_q ± r`` per dimension on its shard slice.
+        """
+        span = self.bounds.highs - self.bounds.lows
+        radius = self.cfg.query_range_factor * span
+        hits: list[int] = []
+        for i in range(len(qproj)):
+            lows = qproj[i] - radius
+            highs = qproj[i] + radius
+            idx = self.store.range_search(int(owner[i]), lows, highs)
+            hits.append(int(len(idx)))
+        return hits
+
+    def load_report(self) -> dict[str, Any]:
+        """Fig. 4-analogue summary of both load vectors."""
+        return {
+            "stored": load_summary(self.store.loads().astype(np.float64)),
+            "forwarding": load_summary(self.forward_visits.astype(np.float64)),
+        }

@@ -11,53 +11,113 @@ filter of query resolution then reduces to two ``searchsorted`` calls and the
 rectangle mask runs only over the candidate slice — profiling the query loop
 showed the full-shard mask dominating local solve time on hot shards (see
 ``bench_perf_microbench.py``).
+
+Two storage shapes share that invariant:
+
+* :class:`Shard` — one node's slice, grown with **amortised doubling** and
+  sorted **lazily** on first read after a batch of appends.  A stable sort
+  of the appended batches in append order produces exactly the array the
+  old sort-on-every-``add`` produced (stable sorts compose), so the change
+  is value-identical while index distribution drops from O(n log n) *per
+  replica batch* to one deferred sort per shard.
+* :class:`ShardStore` — the scale path: **all** nodes' entries of one index
+  in a single CSR-like columnar block (one global sort by ``(owner, key)``
+  plus an offsets array), so a 100k-node index costs three arrays instead
+  of 100k Python shard objects.  Used by :mod:`repro.core.scale`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Shard"]
+__all__ = ["Shard", "ShardStore"]
 
 
 class Shard:
     """Columnar store of the index entries held by one node for one index.
 
     Invariant: ``keys`` is non-decreasing; ``points``/``object_ids`` are
-    aligned with it.
+    aligned with it.  The columns are exposed as read-only views of the
+    live prefix of preallocated capacity buffers; ``add`` appends in
+    amortised O(batch) and the key order is re-established lazily on the
+    next read.
     """
 
-    __slots__ = ("keys", "points", "object_ids")
+    __slots__ = ("_k", "_keys", "_points", "_ids", "_n", "_dirty")
 
     def __init__(self, k: int) -> None:
-        self.keys = np.empty(0, dtype=np.uint64)
-        self.points = np.empty((0, k), dtype=np.float64)
-        self.object_ids = np.empty(0, dtype=np.int64)
+        self._k = int(k)
+        self._keys = np.empty(0, dtype=np.uint64)
+        self._points = np.empty((0, self._k), dtype=np.float64)
+        self._ids = np.empty(0, dtype=np.int64)
+        self._n = 0
+        self._dirty = False
 
     def __len__(self) -> int:
-        return len(self.keys)
+        return self._n
 
     @property
     def load(self) -> int:
         """The paper's load measure: number of index entries stored."""
-        return len(self.keys)
+        return self._n
+
+    @property
+    def keys(self) -> np.ndarray:
+        self._ensure_sorted()
+        return self._keys[: self._n]
+
+    @property
+    def points(self) -> np.ndarray:
+        self._ensure_sorted()
+        return self._points[: self._n]
+
+    @property
+    def object_ids(self) -> np.ndarray:
+        self._ensure_sorted()
+        return self._ids[: self._n]
+
+    def _grow(self, extra: int) -> None:
+        need = self._n + extra
+        cap = len(self._keys)
+        if need <= cap:
+            return
+        new_cap = max(need, 2 * cap, 8)
+        keys = np.empty(new_cap, dtype=np.uint64)
+        points = np.empty((new_cap, self._k), dtype=np.float64)
+        ids = np.empty(new_cap, dtype=np.int64)
+        n = self._n
+        keys[:n] = self._keys[:n]
+        points[:n] = self._points[:n]
+        ids[:n] = self._ids[:n]
+        self._keys, self._points, self._ids = keys, points, ids
+
+    def _ensure_sorted(self) -> None:
+        if not self._dirty:
+            return
+        n = self._n
+        order = np.argsort(self._keys[:n], kind="stable")
+        self._keys[:n] = self._keys[:n][order]
+        self._points[:n] = self._points[:n][order]
+        self._ids[:n] = self._ids[:n][order]
+        self._dirty = False
 
     def add(self, keys: np.ndarray, points: np.ndarray, object_ids: np.ndarray) -> None:
-        """Append a batch of entries, re-establishing key order."""
+        """Append a batch of entries; key order is restored on next read."""
         keys = np.asarray(keys, dtype=np.uint64)
-        new_keys = np.concatenate([self.keys, keys])
-        new_points = np.vstack([self.points, np.asarray(points, dtype=np.float64)])
-        new_ids = np.concatenate([self.object_ids, np.asarray(object_ids, dtype=np.int64)])
-        order = np.argsort(new_keys, kind="stable")
-        self.keys = new_keys[order]
-        self.points = new_points[order]
-        self.object_ids = new_ids[order]
+        m = len(keys)
+        if m == 0:
+            return
+        self._grow(m)
+        n = self._n
+        self._keys[n : n + m] = keys
+        self._points[n : n + m] = np.asarray(points, dtype=np.float64)
+        self._ids[n : n + m] = np.asarray(object_ids, dtype=np.int64)
+        self._n = n + m
+        self._dirty = True
 
     def clear(self) -> None:
-        k = self.points.shape[1]
-        self.keys = np.empty(0, dtype=np.uint64)
-        self.points = np.empty((0, k), dtype=np.float64)
-        self.object_ids = np.empty(0, dtype=np.int64)
+        self._n = 0
+        self._dirty = False
 
     def range_search(
         self,
@@ -74,16 +134,115 @@ class Shard:
         thanks to the sorted-key invariant — narrows the rectangle test to a
         contiguous slice.
         """
-        n = len(self.keys)
+        n = self._n
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        self._ensure_sorted()
+        keys = self._keys[:n]
+        start, stop = 0, n
+        if key_lo is not None:
+            start = int(np.searchsorted(keys, np.uint64(key_lo), side="left"))
+        if key_hi is not None:
+            stop = int(np.searchsorted(keys, np.uint64(key_hi), side="right"))
+        if start >= stop:
+            return np.empty(0, dtype=np.int64)
+        pts = self._points[start:stop]
+        mask = np.all((pts >= lows) & (pts <= highs), axis=1)
+        return np.flatnonzero(mask) + start
+
+
+class ShardStore:
+    """All nodes' entries of one index in a single columnar block.
+
+    Entries are held sorted by ``(owner_slot, key)``; ``offsets[s] :
+    offsets[s+1]`` delimits node slot ``s``'s shard, within which keys are
+    non-decreasing — i.e. each slice satisfies the :class:`Shard` invariant
+    without a per-node Python object.  This is the storage half of the
+    scale refactor: at 100k nodes the per-node dict-of-``Shard`` layout costs
+    hundreds of MB of object headers before a single entry is stored.
+    """
+
+    __slots__ = ("n_slots", "keys", "points", "object_ids", "offsets")
+
+    def __init__(
+        self,
+        n_slots: int,
+        keys: np.ndarray,
+        points: np.ndarray,
+        object_ids: np.ndarray,
+        offsets: np.ndarray,
+    ) -> None:
+        self.n_slots = int(n_slots)
+        self.keys = keys
+        self.points = points
+        self.object_ids = object_ids
+        self.offsets = offsets
+
+    @classmethod
+    def build(
+        cls,
+        owner_slots: np.ndarray,
+        keys: np.ndarray,
+        points: np.ndarray,
+        object_ids: np.ndarray,
+        n_slots: int,
+    ) -> ShardStore:
+        """Distribute ``(keys, points, object_ids)`` to their owners at once.
+
+        One stable lexicographic sort by ``(owner, key)`` replaces the
+        per-node append loop; ties within ``(owner, key)`` keep input order,
+        matching what per-shard stable sorts would produce.
+        """
+        owner_slots = np.asarray(owner_slots, dtype=np.int64)
+        keys = np.asarray(keys, dtype=np.uint64)
+        order = np.lexsort((keys, owner_slots))
+        counts = np.bincount(owner_slots, minlength=n_slots)
+        offsets = np.zeros(n_slots + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return cls(
+            n_slots,
+            keys[order],
+            np.asarray(points, dtype=np.float64)[order],
+            np.asarray(object_ids, dtype=np.int64)[order],
+            offsets,
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def loads(self) -> np.ndarray:
+        """Stored-entry count per node slot (the paper's load measure)."""
+        return np.diff(self.offsets)
+
+    def slice(self, slot: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(keys, points, object_ids)`` views of one node's shard."""
+        lo, hi = int(self.offsets[slot]), int(self.offsets[slot + 1])
+        return self.keys[lo:hi], self.points[lo:hi], self.object_ids[lo:hi]
+
+    def range_search(
+        self,
+        slot: int,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        key_lo: int | None = None,
+        key_hi: int | None = None,
+    ) -> np.ndarray:
+        """Positions (into :meth:`slice` arrays) matching rectangle + key range.
+
+        Same semantics as :meth:`Shard.range_search`, evaluated against one
+        slot's slice of the block.
+        """
+        keys, pts, _ = self.slice(slot)
+        n = len(keys)
         if n == 0:
             return np.empty(0, dtype=np.int64)
         start, stop = 0, n
         if key_lo is not None:
-            start = int(np.searchsorted(self.keys, np.uint64(key_lo), side="left"))
+            start = int(np.searchsorted(keys, np.uint64(key_lo), side="left"))
         if key_hi is not None:
-            stop = int(np.searchsorted(self.keys, np.uint64(key_hi), side="right"))
+            stop = int(np.searchsorted(keys, np.uint64(key_hi), side="right"))
         if start >= stop:
             return np.empty(0, dtype=np.int64)
-        pts = self.points[start:stop]
-        mask = np.all((pts >= lows) & (pts <= highs), axis=1)
+        window = pts[start:stop]
+        mask = np.all((window >= lows) & (window <= highs), axis=1)
         return np.flatnonzero(mask) + start

@@ -6,6 +6,7 @@ arithmetic, consistent hashing, nodes/rings with finger + successor-list
 routing state, PNS finger selection [9], and greedy lookups.
 """
 
+from repro.dht.compact import CompactChordRing
 from repro.dht.hashing import hash_to_id, node_id, random_ids, rotation_offset
 from repro.dht.idspace import (
     cw_distance,
@@ -21,6 +22,7 @@ from repro.dht.stabilize import MaintenanceConfig, MaintenanceStats, Stabilizati
 __all__ = [
     "ChordNode",
     "ChordRing",
+    "CompactChordRing",
     "PastryNode",
     "PastryRing",
     "StabilizationProtocol",

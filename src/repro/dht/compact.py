@@ -1,0 +1,306 @@
+"""Array-backed Chord state for very large rings (the scale substrate).
+
+:class:`repro.dht.ring.ChordRing` materialises one Python object per node,
+with per-node finger/successor *lists of object references* — convenient for
+protocol simulation, but ~25 KB per member once tables are built, which caps
+practical rings at a few thousand nodes.  :class:`CompactChordRing` keeps the
+same stabilised steady state as three flat arrays keyed by **dense node
+slots** (positions in identifier order):
+
+* ``ids``    — sorted ``uint64`` identifiers, shape ``(n,)``;
+* ``hosts``  — latency-endpoint index per slot, shape ``(n,)``;
+* ``fingers``— finger *slots* per node and level, shape ``(n, m)``,
+  ``int32`` (a 100k-node, 64-bit ring costs ~26 MB instead of ~2.5 GB).
+
+Successor lists need no storage at all: in the stabilised state the
+successor list of slot ``s`` is exactly the next ``r`` slots clockwise,
+``(s+1) ... (s+r) mod n``.
+
+Routing is the same greedy closest-preceding-entry rule as
+:meth:`ChordNode.next_hop` (footnote 4: fingers + successor list + self),
+evaluated for *batches* of lookups at once: :meth:`route_batch` advances all
+active queries one hop per vectorised round, so a million lookups cost
+~``O(log n)`` NumPy passes rather than a million Python loops.  On identical
+membership (classic fingers, no PNS) it reproduces
+:meth:`ChordRing.lookup_path` hop-for-hop — the differential tests in
+``tests/test_scale.py`` assert exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dht.hashing import random_ids
+from repro.util.rng import as_rng
+
+__all__ = ["CompactChordRing"]
+
+#: finger-table rebuild is chunked over node rows to bound the transient
+#: ``(rows, m)`` uint64 "starts" buffer (16384 rows × 64 levels ≈ 8 MB).
+_REBUILD_CHUNK = 16384
+
+
+class CompactChordRing:
+    """Stabilised Chord membership and routing state in flat arrays.
+
+    Parameters
+    ----------
+    ids:
+        Node identifiers (any order; sorted internally, must be distinct).
+    hosts:
+        Latency-endpoint index per identifier, aligned with ``ids``.
+    m:
+        Identifier bits (paper: 64).
+    successor_list_len:
+        Successor-list length ``r`` (paper / p2psim default: 16).
+    """
+
+    __slots__ = ("m", "mask", "successor_list_len", "ids", "hosts", "fingers")
+
+    def __init__(
+        self,
+        ids: np.ndarray,
+        hosts: np.ndarray,
+        m: int = 64,
+        successor_list_len: int = 16,
+    ) -> None:
+        ids = np.asarray(ids, dtype=np.uint64)
+        hosts = np.asarray(hosts, dtype=np.int64)
+        if ids.ndim != 1 or ids.shape != hosts.shape:
+            raise ValueError("ids and hosts must be aligned 1-D arrays")
+        if len(np.unique(ids)) != len(ids):
+            raise ValueError("node identifiers must be distinct")
+        order = np.argsort(ids)
+        self.m = int(m)
+        self.mask = np.uint64((1 << self.m) - 1) if self.m < 64 else np.uint64(
+            0xFFFFFFFFFFFFFFFF
+        )
+        self.successor_list_len = int(successor_list_len)
+        self.ids = ids[order]
+        self.hosts = hosts[order]
+        self.fingers = np.empty((0, 0), dtype=np.int32)
+        self._rebuild_fingers()
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        n_nodes: int,
+        m: int = 64,
+        seed: int | np.random.Generator | None = 0,
+        n_hosts: int | None = None,
+        successor_list_len: int = 16,
+    ) -> CompactChordRing:
+        """A stabilised ring of ``n_nodes`` with uniform random identifiers.
+
+        Hosts are drawn from ``n_hosts`` endpoints (default: one per node) —
+        a permutation when the host space is large enough, with replacement
+        otherwise, mirroring :meth:`ChordRing.build`.
+        """
+        rng = as_rng(seed)
+        ids = random_ids(n_nodes, m, rng)
+        pool = n_nodes if n_hosts is None else int(n_hosts)
+        hosts = (
+            rng.permutation(pool)[:n_nodes]
+            if pool >= n_nodes
+            else rng.integers(0, pool, size=n_nodes)
+        )
+        return cls(ids, hosts, m=m, successor_list_len=successor_list_len)
+
+    @classmethod
+    def from_ring(cls, ring: object) -> CompactChordRing:
+        """Snapshot a :class:`ChordRing`'s membership (differential testing)."""
+        nodes = ring.nodes()  # type: ignore[attr-defined]
+        ids = np.asarray([node.id for node in nodes], dtype=np.uint64)
+        hosts = np.asarray([node.host for node in nodes], dtype=np.int64)
+        return cls(
+            ids,
+            hosts,
+            m=ring.m,  # type: ignore[attr-defined]
+            successor_list_len=ring.successor_list_len,  # type: ignore[attr-defined]
+        )
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def _rebuild_fingers(self) -> None:
+        """Classic fingers for every node: ``finger[s, i] = slot of
+        successor(ids[s] + 2^i)`` — one chunked searchsorted sweep."""
+        n = len(self.ids)
+        self.fingers = np.empty((n, self.m), dtype=np.int32)
+        if n == 0:
+            return
+        shifts = np.uint64(1) << np.arange(self.m, dtype=np.uint64)
+        for lo in range(0, n, _REBUILD_CHUNK):
+            hi = min(lo + _REBUILD_CHUNK, n)
+            starts = (self.ids[lo:hi, None] + shifts[None, :]) & self.mask
+            idx = np.searchsorted(self.ids, starts.ravel(), side="left")
+            idx[idx == n] = 0
+            self.fingers[lo:hi] = idx.reshape(hi - lo, self.m).astype(np.int32)
+
+    def bulk_join(self, new_ids: np.ndarray, new_hosts: np.ndarray) -> np.ndarray:
+        """Admit a batch of nodes: one membership merge + one finger rebuild.
+
+        Returns the slots of the new members (post-merge identifier order).
+        The merge is a sorted-array union — O((n + k) log(n + k)) for the
+        whole batch, versus k full per-join rebuilds on the object ring.
+        """
+        new_ids = np.asarray(new_ids, dtype=np.uint64)
+        new_hosts = np.asarray(new_hosts, dtype=np.int64)
+        if new_ids.shape != new_hosts.shape:
+            raise ValueError("new_ids and new_hosts must be aligned")
+        merged = np.concatenate([self.ids, new_ids])
+        if len(np.unique(merged)) != len(merged):
+            raise ValueError("bulk join would duplicate an identifier")
+        order = np.argsort(merged)
+        self.ids = merged[order]
+        self.hosts = np.concatenate([self.hosts, new_hosts])[order]
+        self._rebuild_fingers()
+        slots = np.searchsorted(self.ids, new_ids, side="left")
+        return slots.astype(np.int64)
+
+    # -- oracle views ----------------------------------------------------------
+
+    def owners_of_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Slot of the owner (first node clockwise) of each key."""
+        keys = np.asarray(keys, dtype=np.uint64) & self.mask
+        idx = np.searchsorted(self.ids, keys, side="left")
+        idx[idx == len(self.ids)] = 0
+        return idx.astype(np.int64)
+
+    def successor_slots(self, slot: int) -> np.ndarray:
+        """The successor list of ``slot``: the next ``r`` slots clockwise."""
+        n = len(self.ids)
+        r = min(self.successor_list_len, n - 1) if n > 1 else 0
+        return (slot + 1 + np.arange(r, dtype=np.int64)) % n
+
+    def check_invariants(self) -> None:
+        """Structural self-check: sorted distinct ids, finger oracle equality.
+
+        Raises ``AssertionError`` on violation.  The finger check recomputes
+        the classic-finger definition from scratch and compares — meaningful
+        after :meth:`bulk_join` merges, where an indexing slip would
+        silently misroute.
+        """
+        n = len(self.ids)
+        if n == 0:
+            return
+        assert np.all(np.diff(self.ids.astype(np.uint64)) > 0), "ids not sorted/unique"
+        assert self.fingers.shape == (n, self.m), "finger table shape mismatch"
+        assert np.all((self.fingers >= 0) & (self.fingers < n)), "finger slot range"
+        expect = CompactChordRing.__new__(CompactChordRing)
+        expect.m = self.m
+        expect.mask = self.mask
+        expect.successor_list_len = self.successor_list_len
+        expect.ids = self.ids
+        expect.hosts = self.hosts
+        expect._rebuild_fingers()
+        assert np.array_equal(expect.fingers, self.fingers), "fingers differ from oracle"
+        assert np.array_equal(
+            self.owners_of_keys(self.ids), np.arange(n, dtype=np.int64)
+        ), "each node must own its own identifier"
+
+    # -- bulk routing ----------------------------------------------------------
+
+    def route_batch(
+        self,
+        src_slots: np.ndarray,
+        keys: np.ndarray,
+        latency: object | None = None,
+        count_visits: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+        """Greedy Chord lookup for a batch of ``(source, key)`` pairs.
+
+        Returns ``(owner_slots, hops, path_latency_s, visit_counts)``:
+
+        * ``owner_slots[i]`` — slot owning ``keys[i]``;
+        * ``hops[i]`` — forwarding hops, identical to
+          ``len(ChordRing.lookup_path(...)) - 1`` on the same membership
+          with classic (non-PNS) fingers;
+        * ``path_latency_s[i]`` — sum of one-way delays along the hop path
+          (zeros when ``latency`` is None), via
+          :meth:`LatencyModel.latency_pairs`;
+        * ``visit_counts`` — per-slot count of lookups *processed* (source
+          and every intermediate node; the terminal owner hop is excluded —
+          that is index load, not forwarding load).  None unless
+          ``count_visits``.
+
+        All queries advance one hop per vectorised round; finished ones drop
+        out, so the loop runs ~``O(log n)`` rounds for the whole batch.
+        """
+        n = len(self.ids)
+        if n == 0:
+            raise RuntimeError("empty ring")
+        keys = np.asarray(keys, dtype=np.uint64) & self.mask
+        nq = len(keys)
+        owner = np.searchsorted(self.ids, keys, side="left")
+        owner[owner == n] = 0
+        owner = owner.astype(np.int64)
+        hops = np.zeros(nq, dtype=np.int64)
+        lat = np.zeros(nq, dtype=np.float64)
+        visits = np.zeros(n, dtype=np.int64) if count_visits else None
+        cur = np.asarray(src_slots, dtype=np.int64).copy()
+        if np.any((cur < 0) | (cur >= n)):
+            raise ValueError("source slot out of range")
+        if n == 1:
+            return owner, hops, lat, visits
+        if visits is not None:
+            visits += np.bincount(cur, minlength=n)
+        r = min(self.successor_list_len, n - 1)
+        active = np.arange(nq, dtype=np.int64)
+        # every round advances each active query >= 1 slot toward the
+        # predecessor of its key, so n + 4m rounds is an unreachable cap
+        for _ in range(n + 4 * self.m):
+            if active.size == 0:
+                break
+            a_cur = cur[active]
+            ps = (owner[active] - 1 - a_cur) % n
+            done = ps == 0
+            if np.any(done):
+                di = active[done]
+                hops[di] += 1
+                if latency is not None:
+                    lat[di] += latency.latency_pairs(  # type: ignore[attr-defined]
+                        self.hosts[cur[di]], self.hosts[owner[di]]
+                    )
+                keep = ~done
+                active = active[keep]
+                if active.size == 0:
+                    break
+                a_cur = a_cur[keep]
+                ps = ps[keep]
+            # best successor-list step: furthest successor not past pred(key)
+            step = np.minimum(ps, r)
+            # best finger step: highest level whose finger precedes the key.
+            # cw id-distance to the key bounds the first level to try; the
+            # step-down loop discards levels whose finger overshoots.
+            d = (keys[active] - self.ids[a_cur]) & self.mask
+            lvl = np.full(len(active), self.m - 1, dtype=np.int64)
+            nz = d != np.uint64(0)  # d == 0 (key == own id) routes the full ring
+            lvl[nz] = np.minimum(
+                np.floor(np.log2(d[nz].astype(np.float64))).astype(np.int64),
+                self.m - 1,
+            )
+            pending = np.arange(len(active), dtype=np.int64)
+            while pending.size:
+                f_slot = self.fingers[a_cur[pending], lvl[pending]].astype(np.int64)
+                sd = (f_slot - a_cur[pending]) % n
+                ok = (sd > 0) & (sd <= ps[pending])
+                hit = pending[ok]
+                step[hit] = np.maximum(step[hit], sd[ok])
+                pending = pending[~ok]
+                lvl[pending] -= 1
+                pending = pending[lvl[pending] >= 0]
+            nxt = (a_cur + step) % n
+            if latency is not None:
+                lat[active] += latency.latency_pairs(  # type: ignore[attr-defined]
+                    self.hosts[a_cur], self.hosts[nxt]
+                )
+            hops[active] += 1
+            cur[active] = nxt
+            if visits is not None:
+                visits += np.bincount(nxt, minlength=n)
+        else:
+            raise RuntimeError("bulk lookup did not converge")
+        return owner, hops, lat, visits

@@ -48,7 +48,7 @@ class ChordNode:
         "fingers",
         "successors",
         "predecessor",
-        "load_hint",
+        "_load_hint",
         "alive",
         "table_version",
         "_nh_cache",
@@ -66,9 +66,11 @@ class ChordNode:
         self.fingers: list[ChordNode] = []
         self.successors: list[ChordNode] = []
         self.predecessor: ChordNode | None = None
-        #: piggybacked load information about neighbours (§3.4); maps node id
-        #: to the last load value heard.
-        self.load_hint: dict[int, float] = {}
+        # Both per-node dicts are allocated lazily: a node that never hears
+        # a load hint or routes a key pays nothing, which matters when a
+        # 100k-node ring is built in bulk (two dict headers per node add up
+        # to tens of MB of pure overhead before any traffic flows).
+        self._load_hint: dict[int, float] | None = None
         #: liveness flag used by the churn/stabilisation simulation.
         self.alive: bool = True
         #: bumped by :meth:`invalidate_routing` whenever the routing table
@@ -77,10 +79,18 @@ class ChordNode:
         #: every table mutation.
         self.table_version: int = 0
         #: key -> next_hop memo, valid for the current table_version only.
-        self._nh_cache: dict[int, ChordNode] = {}
+        self._nh_cache: dict[int, ChordNode] | None = None
 
     def __repr__(self) -> str:
         return f"ChordNode({self.name}, id={self.id:#x})"
+
+    @property
+    def load_hint(self) -> dict[int, float]:
+        """Piggybacked load information about neighbours (§3.4): node id ->
+        last load value heard.  Allocated on first access."""
+        if self._load_hint is None:
+            self._load_hint = {}
+        return self._load_hint
 
     # -- routing -------------------------------------------------------------
 
@@ -114,7 +124,8 @@ class ChordNode:
         is exact.
         """
         self.table_version += 1
-        self._nh_cache.clear()
+        if self._nh_cache:
+            self._nh_cache.clear()
 
     def next_hop(self, key: int) -> ChordNode:
         """Closest table entry strictly preceding ``key`` on the ring.
@@ -130,6 +141,8 @@ class ChordNode:
         recur across queries.
         """
         cache = self._nh_cache
+        if cache is None:
+            cache = self._nh_cache = {}
         hit = cache.get(key)
         if hit is not None:
             return hit

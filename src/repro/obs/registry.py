@@ -195,6 +195,33 @@ class Histogram(_Instrument):
                     del st.sample[j]
                     insort(st.sample, value)
 
+    def observe_many(self, values, labels: tuple = ()) -> None:
+        """Record a whole vector of observations at once.
+
+        Bit-identical to looping :meth:`observe`: ``numpy.searchsorted``
+        with ``side="left"`` lands each value in the same bucket as
+        ``bisect_left``, and the bucket counts are order-independent.
+        Reservoir histograms *are* order-dependent (algorithm R consumes
+        one RNG draw per observation), so they take the loop path.
+        """
+        import numpy as np
+
+        vals = np.asarray(values, dtype=np.float64)
+        if vals.size == 0:
+            return
+        st = self._state(labels)
+        if st.sample is not None:
+            for v in vals:
+                self.observe(float(v), labels)
+            return
+        idx = np.searchsorted(np.asarray(self.buckets), vals, side="left")
+        hits = np.bincount(idx, minlength=len(self.buckets) + 1)
+        for i, c in enumerate(hits):
+            if c:
+                st.counts[i] += int(c)
+        st.sum += float(vals.sum())
+        st.count += int(vals.size)
+
     def count(self, labels: tuple = ()) -> int:
         st = self.values.get(labels)
         return st.count if st is not None else 0
@@ -354,6 +381,9 @@ class _NullInstrument:
         pass
 
     def observe(self, value, labels=()) -> None:
+        pass
+
+    def observe_many(self, values, labels=()) -> None:
         pass
 
     def value(self, labels=()):

@@ -332,6 +332,16 @@ class Transport:
         """Run ``fn(*args)`` at absolute simulation time ``time``."""
         self.sim.schedule_at(time, fn, *args)
 
+    def at_batch(self, entries: list) -> None:
+        """Schedule many ``(time, fn, args)`` callbacks with one heapify.
+
+        Bulk workload injection: equivalent to calling :meth:`at` per entry
+        (identical sequence-number assignment, hence identical replay
+        digests) but O(n) instead of n sift-ups — see
+        :meth:`repro.sim.engine.Simulator.schedule_batch`.
+        """
+        self.sim.schedule_batch(entries)
+
     def timer_cancelable(self, delay: float, fn: Callable, *args: Any) -> TimerHandle:
         """Like :meth:`timer`, returning a handle that can cancel the firing
         (retransmission timeouts, per-query deadlines).  Cancellation

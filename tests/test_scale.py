@@ -1,0 +1,218 @@
+"""The scale substrates against their object-graph oracles.
+
+CompactChordRing must reproduce ChordRing's greedy lookups hop-for-hop on
+identical membership (classic fingers, no PNS); ShardStore must hold exactly
+what per-node Shards would; schedule_batch must leave the engine digest
+bit-identical to per-event scheduling; and the ScaleSimulation harness must
+run end-to-end with its invariants intact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scale import ScaleConfig, ScaleSimulation
+from repro.core.storage import Shard, ShardStore
+from repro.dht.compact import CompactChordRing
+from repro.dht.ring import ChordRing
+from repro.obs.registry import MetricsRegistry
+from repro.sim.engine import Simulator
+from repro.sim.king import king_coordinate_model
+
+
+def _object_ring(n, m, seed):
+    return ChordRing.build(n, m=m, seed=seed, pns=False, id_source="random")
+
+
+class TestCompactVsObjectRing:
+    @pytest.mark.parametrize(
+        "n,m,seed", [(1, 16, 0), (2, 16, 1), (7, 16, 2), (150, 32, 3), (400, 64, 4)]
+    )
+    def test_route_batch_matches_lookup_path(self, n, m, seed):
+        ring = _object_ring(n, m, seed)
+        comp = CompactChordRing.from_ring(ring)
+        comp.check_invariants()
+        by_slot = [ring.nodes_by_id[int(i)] for i in comp.ids]
+        rng = np.random.default_rng(seed + 100)
+        nq = 200
+        keys = rng.integers(0, 1 << m if m < 64 else 1 << 63, size=nq, dtype=np.uint64)
+        # exercise the key == node-id edge (routes the full ring)
+        keys[:5] = comp.ids[rng.integers(0, n, size=5)]
+        src = rng.integers(0, n, size=nq, dtype=np.int64)
+        owner, hops, lat, visits = comp.route_batch(src, keys, count_visits=True)
+        for i in range(nq):
+            path = ring.lookup_path(by_slot[src[i]], int(keys[i]))
+            assert path[-1].id == int(comp.ids[owner[i]])
+            assert len(path) - 1 == hops[i]
+        # each query visits its source + (hops-1) intermediates; the
+        # terminal owner hop is excluded from forwarding load
+        assert visits.sum() == hops.sum()
+
+    def test_owners_match_object_ring(self):
+        ring = _object_ring(64, 20, 5)
+        comp = CompactChordRing.from_ring(ring)
+        rng = np.random.default_rng(6)
+        keys = rng.integers(0, 1 << 20, size=500, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            comp.owners_of_keys(keys), ring.owners_of_keys(keys)
+        )
+
+    def test_latency_accumulates_along_path(self):
+        ring = _object_ring(50, 24, 7)
+        comp = CompactChordRing.from_ring(ring)
+        lat = king_coordinate_model(n_hosts=64, seed=9)
+        rng = np.random.default_rng(8)
+        keys = rng.integers(0, 1 << 24, size=50, dtype=np.uint64)
+        src = rng.integers(0, 50, size=50)
+        _, hops, path_lat, _ = comp.route_batch(src, keys, latency=lat)
+        assert np.all(path_lat[hops > 0] > 0)
+        assert np.all(path_lat[hops == 0] == 0)
+
+    def test_bulk_join_matches_fresh_build(self):
+        base = CompactChordRing.build(100, m=32, seed=1)
+        rng = np.random.default_rng(2)
+        new_ids = np.setdiff1d(
+            rng.integers(0, 1 << 32, size=40, dtype=np.uint64), base.ids
+        )
+        new_hosts = np.arange(100, 100 + len(new_ids), dtype=np.int64)
+        slots = base.bulk_join(new_ids, new_hosts)
+        base.check_invariants()
+        assert np.array_equal(base.ids[slots], new_ids)
+        fresh = CompactChordRing(base.ids, base.hosts, m=32)
+        assert np.array_equal(fresh.fingers, base.fingers)
+
+    def test_duplicate_join_rejected(self):
+        base = CompactChordRing.build(10, m=32, seed=1)
+        with pytest.raises(ValueError):
+            base.bulk_join(base.ids[:1], np.array([99], dtype=np.int64))
+
+
+class TestShardStoreVsShards:
+    def test_matches_per_node_shards(self):
+        rng = np.random.default_rng(3)
+        n_slots, n_entries, k = 16, 500, 3
+        owners = rng.integers(0, n_slots, size=n_entries)
+        keys = rng.integers(0, 1 << 40, size=n_entries, dtype=np.uint64)
+        points = rng.uniform(0, 1, size=(n_entries, k))
+        ids = np.arange(n_entries, dtype=np.int64)
+        store = ShardStore.build(owners, keys, points, ids, n_slots)
+        assert int(store.loads().sum()) == n_entries
+        for slot in range(n_slots):
+            shard = Shard(k)
+            mask = owners == slot
+            shard.add(keys[mask], points[mask], ids[mask])
+            ks, ps, os_ = store.slice(slot)
+            np.testing.assert_array_equal(ks, shard.keys)
+            np.testing.assert_array_equal(ps, shard.points)
+            np.testing.assert_array_equal(os_, shard.object_ids)
+            lows, highs = np.full(k, 0.25), np.full(k, 0.75)
+            got = store.range_search(slot, lows, highs, key_lo=1 << 30, key_hi=1 << 39)
+            want = shard.range_search(lows, highs, key_lo=1 << 30, key_hi=1 << 39)
+            np.testing.assert_array_equal(os_[got], shard.object_ids[want])
+
+    def test_lazy_shard_sort_matches_eager(self):
+        rng = np.random.default_rng(4)
+        s = Shard(2)
+        ref_keys, ref_ids = [], []
+        for _ in range(5):
+            ks = rng.integers(0, 100, size=20, dtype=np.uint64)
+            s.add(ks, rng.uniform(size=(20, 2)), np.arange(20))
+            ref_keys.append(ks)
+        allk = np.concatenate(ref_keys)
+        np.testing.assert_array_equal(s.keys, np.sort(allk, kind="stable"))
+
+
+class TestScheduleBatch:
+    def test_digest_identical_to_loop(self):
+        events = [(0.5, 0), (0.1, 1), (0.9, 2), (0.1, 3)]
+        log_a, log_b = [], []
+
+        sim_a = Simulator()
+        sim_a.digest_enabled = True
+        for t, tag in events:
+            sim_a.schedule_at(t, log_a.append, tag)
+        sim_a.run()
+
+        sim_b = Simulator()
+        sim_b.digest_enabled = True
+        sim_b.schedule_batch([(t, log_b.append, (tag,)) for t, tag in events])
+        sim_b.run()
+
+        assert log_a == log_b
+        assert sim_a.schedule_digest == sim_b.schedule_digest
+
+    def test_past_time_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_batch([(0.5, lambda: None, ())])
+
+
+class TestHistogramObserveMany:
+    def test_matches_loop(self):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        vals = np.random.default_rng(5).exponential(0.1, size=1000)
+        h_a = reg_a.histogram("h", buckets=(0.01, 0.05, 0.1, 0.5))
+        h_b = reg_b.histogram("h", buckets=(0.01, 0.05, 0.1, 0.5))
+        for v in vals:
+            h_a.observe(float(v))
+        h_b.observe_many(vals)
+        assert h_a.count() == h_b.count()
+        assert h_a.sum() == pytest.approx(h_b.sum())
+        assert h_a.values[()].counts == h_b.values[()].counts
+        assert h_a.percentile(0.9) == pytest.approx(h_b.percentile(0.9))
+
+    def test_reservoir_path_identical(self):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        vals = np.random.default_rng(6).uniform(size=200)
+        h_a = reg_a.histogram("r", buckets=(0.5,), reservoir=32)
+        h_b = reg_b.histogram("r", buckets=(0.5,), reservoir=32)
+        for v in vals:
+            h_a.observe(float(v))
+        h_b.observe_many(vals)
+        assert h_a.values[()].sample == h_b.values[()].sample
+
+
+class TestScaleSimulation:
+    def test_end_to_end_small(self):
+        cfg = ScaleConfig(
+            n_nodes=500, n_objects=1000, n_queries=2000, chunk=500, dim=6,
+            n_landmarks=3,
+        )
+        reg = MetricsRegistry()
+        sim = ScaleSimulation(
+            cfg, latency=king_coordinate_model(n_hosts=500, seed=1), registry=reg
+        )
+        sim.check_invariants()
+        rep = sim.run()
+        sim.check_invariants()
+        assert rep.n_queries == 2000
+        assert 0 < rep.mean_hops < 12
+        assert rep.latency_p50_s > 0
+        assert rep.health_samples >= 3
+        assert rep.storage_load["gini"] > 0
+        assert int(sim.forward_visits.sum()) > 0
+        h = reg.get("scale_query_latency_seconds")
+        assert h is not None and h.count() == 2000
+        assert reg.get("scale_query_hops").count() == 2000
+
+    def test_deterministic_per_seed(self):
+        cfg = ScaleConfig(n_nodes=200, n_objects=400, n_queries=400, chunk=200,
+                          dim=4, n_landmarks=3)
+        reps = []
+        for _ in range(2):
+            sim = ScaleSimulation(cfg)
+            reps.append(sim.run())
+        assert reps[0].mean_hops == reps[1].mean_hops
+        assert reps[0].storage_load["gini"] == reps[1].storage_load["gini"]
+
+    def test_smoke_entrypoint(self, capsys):
+        from repro.bench.scale import run_scale_smoke
+
+        rc = run_scale_smoke(n_nodes=400, n_queries=400, budget_s=60.0)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "scale-smoke] OK" in out
+        assert "forwarding visits" in out
