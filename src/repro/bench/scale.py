@@ -28,6 +28,7 @@ DET101 exemption), so the simulation core stays clock-free.
 
 from __future__ import annotations
 
+import os
 import resource
 import time
 
@@ -37,11 +38,24 @@ from repro.bench.schema import BenchResult, BenchSection
 from repro.core.scale import ScaleConfig, ScaleSimulation
 from repro.dht.compact import CompactChordRing
 from repro.dht.ring import ChordRing
-from repro.obs import format_hotspot_report
-from repro.obs.registry import MetricsRegistry
+from repro.obs import (
+    DEFAULT_SCALE_SLOS,
+    JsonlSpanSink,
+    MemorySpanSink,
+    SpanRecorder,
+    evaluate_slos,
+    export_metrics,
+    format_hotspot_report,
+    write_prometheus,
+)
+from repro.obs.registry import MetricsRegistry, NullRegistry
 from repro.sim.king import king_coordinate_model
 
 __all__ = ["run_scale", "run_scale_smoke"]
+
+#: the wall-clock overhead budget for real metrics + sampled tracing,
+#: relative to a NullRegistry run of the same configuration
+OBS_OVERHEAD_BUDGET = 0.10
 
 
 def _peak_rss_mb() -> float:
@@ -102,6 +116,45 @@ def _bench_query_routing(n_nodes: int, n_queries: int, repeats: int) -> BenchSec
     )
 
 
+def _bench_obs_overhead(
+    n_nodes: int, n_queries: int, repeats: int
+) -> BenchSection:
+    """Paired timing: NullRegistry run vs real metrics + sampled tracing.
+
+    Here "baseline" is the *uninstrumented* run, so the section's speedup is
+    the instrumented run's relative cost (~1.0 when observability is in
+    budget); the overhead fraction lands in ``meta``.  Both simulations are
+    built once and only ``run()`` is timed — construction is identical.
+    """
+    lat = king_coordinate_model(n_hosts=n_nodes, seed=3)
+    cfg = ScaleConfig(
+        n_nodes=n_nodes,
+        n_objects=n_nodes,
+        n_queries=n_queries,
+        chunk=max(1, n_queries // 4),
+    )
+    null_sim = ScaleSimulation(cfg, latency=lat, registry=NullRegistry())
+    rec = SpanRecorder()
+    rec.add_sink(MemorySpanSink())
+    obs_sim = ScaleSimulation(cfg, latency=lat, recorder=rec)
+    baseline_s = _median(null_sim.run, repeats)
+    candidate_s = _median(obs_sim.run, repeats)
+    return BenchSection(
+        name="obs_overhead",
+        baseline_label=f"run() with NullRegistry ({n_nodes} nodes, {n_queries} queries)",
+        candidate_label="run() with metrics + 1-in-1024 sampled tracing",
+        baseline_s=baseline_s,
+        candidate_s=candidate_s,
+        repeats=repeats,
+        meta={
+            "n_nodes": n_nodes,
+            "n_queries": n_queries,
+            "overhead_frac": round(candidate_s / baseline_s - 1.0, 4),
+            "budget_frac": OBS_OVERHEAD_BUDGET,
+        },
+    )
+
+
 def run_scale(quick: bool = False, repeats: int | None = None) -> BenchResult:
     """Run the scale suite and return its :class:`BenchResult`."""
     if repeats is None:
@@ -116,6 +169,8 @@ def run_scale(quick: bool = False, repeats: int | None = None) -> BenchResult:
     result = BenchResult.new("scale", quick=quick)
     result.sections.append(_bench_ring_build(n_nodes, repeats))
     result.sections.append(_bench_query_routing(n_nodes, n_queries, repeats))
+    obs_sec = _bench_obs_overhead(n_nodes, 4 * n_queries, repeats)
+    result.sections.append(obs_sec)
 
     # -- headline throughput/memory numbers (compact substrate only) ---------
     t0 = time.perf_counter()
@@ -148,6 +203,10 @@ def run_scale(quick: bool = False, repeats: int | None = None) -> BenchResult:
         "queries_per_sec_10k": round(rep_small.n_queries / small_s),
         "peak_rss_mb_10k": round(rss_small_mb, 1),
         "mean_hops_10k": round(rep_small.mean_hops, 2),
+        "obs_overhead_frac_10k": obs_sec.meta["overhead_frac"],
+        "obs_overhead_ok": bool(
+            obs_sec.meta["overhead_frac"] <= OBS_OVERHEAD_BUDGET
+        ),
         "per_section_speedups": {
             s.name: round(s.speedup, 2)
             for s in result.sections
@@ -166,8 +225,21 @@ def run_scale(quick: bool = False, repeats: int | None = None) -> BenchResult:
         t0 = time.perf_counter()
         rep_big = sim_big.run()
         route_s = time.perf_counter() - t0
+        # the acceptance bar: real metrics + sampled tracing at the full
+        # 100k/1M size must stay within the overhead budget vs NullRegistry
+        sim_null = ScaleSimulation(
+            cfg,
+            latency=king_coordinate_model(n_hosts=cfg.n_nodes, seed=3),
+            registry=NullRegistry(),
+        )
+        t0 = time.perf_counter()
+        sim_null.run()
+        null_route_s = time.perf_counter() - t0
+        overhead_100k = route_s / null_route_s - 1.0
         summary.update(
             {
+                "obs_overhead_frac_100k": round(overhead_100k, 4),
+                "obs_overhead_ok_100k": bool(overhead_100k <= OBS_OVERHEAD_BUDGET),
                 "build_sec_100k": round(build_s, 2),
                 "route_1m_sec_100k": round(route_s, 2),
                 "total_sec_100k_1m": round(build_s + route_s, 2),
@@ -191,6 +263,9 @@ def run_scale_smoke(
     n_queries: int = 10_000,
     budget_s: float = 120.0,
     seed: int = 0,
+    out_dir: str | None = None,
+    obs_overhead: float | None = None,
+    slo: bool = False,
 ) -> int:
     """The CI ``scale-smoke`` job: build, route, check, report, enforce budget.
 
@@ -198,6 +273,16 @@ def run_scale_smoke(
     checking on and full observability, prints the health trace and the
     Fig. 4-analogue Gini/hotspot report, and fails (non-zero) if wall-clock
     exceeds ``budget_s``.
+
+    Extras (each opt-in, all used by the CI observability-at-scale job):
+
+    * ``out_dir`` — stream ``health.jsonl``/``spans.jsonl`` live during the
+      run (the ``repro top``/``repro serve`` inputs) and write
+      ``metrics.jsonl`` + ``prom.txt`` at the end;
+    * ``obs_overhead`` — also run the same config with ``NullRegistry`` and
+      fail if the instrumented run cost more than this fraction extra;
+    * ``slo`` — evaluate :data:`~repro.obs.slo.DEFAULT_SCALE_SLOS` over the
+      run's series and fail on any burned budget.
     """
     registry = MetricsRegistry()
     cfg = ScaleConfig(
@@ -207,14 +292,26 @@ def run_scale_smoke(
         chunk=max(1, n_queries // 8),
         seed=seed,
     )
+    latency = king_coordinate_model(n_hosts=n_nodes, seed=seed)
+    recorder = None
+    health_jsonl = None
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+        recorder = SpanRecorder()
+        recorder.add_sink(JsonlSpanSink(os.path.join(out_dir, "spans.jsonl")))
+        health_jsonl = os.path.join(out_dir, "health.jsonl")
     t0 = time.perf_counter()
     sim = ScaleSimulation(
         cfg,
-        latency=king_coordinate_model(n_hosts=n_nodes, seed=seed),
+        latency=latency,
         registry=registry,
+        recorder=recorder,
+        health_jsonl=health_jsonl,
     )
     sim.check_invariants()
+    t_route = time.perf_counter()
     report = sim.run()
+    route_s = time.perf_counter() - t_route
     sim.check_invariants()
     elapsed = time.perf_counter() - t0
     print(f"[scale-smoke] {n_nodes} nodes, {report.n_queries} queries "
@@ -222,6 +319,10 @@ def run_scale_smoke(
     print(f"  mean hops {report.mean_hops:.2f}  "
           f"latency p50 {report.latency_p50_s * 1e3:.1f}ms "
           f"p99 {report.latency_p99_s * 1e3:.1f}ms")
+    print(f"  routed {report.counters.get('routed', 0.0):.0f}  "
+          f"solved {report.counters.get('solved', 0.0):.0f}  "
+          f"dropped {report.counters.get('dropped', 0.0):.0f}  "
+          f"sampled spans {report.sampled_spans}")
     print("  " + format_hotspot_report(report.storage_load, title="stored entries"))
     print("  " + format_hotspot_report(report.forwarding_load, title="forwarding visits"))
     print(f"  health samples: {report.health_samples}  "
@@ -231,12 +332,41 @@ def run_scale_smoke(
         deciles = ", ".join(f"{v:.0f}" for v in s.load_deciles[-3:])
         print(f"    t={s.time:>5.1f}s queue={s.event_queue_depth} "
               f"top-deciles=[{deciles}]")
+    ok = True
     if report.health_samples == 0:
         print("[scale-smoke] FAIL: health sampler never ticked")
-        return 1
+        ok = False
+    if out_dir is not None:
+        sim.sampler.close()
+        if recorder is not None:
+            recorder.close()
+        export_metrics(registry, os.path.join(out_dir, "metrics.jsonl"))
+        write_prometheus(registry, os.path.join(out_dir, "prom.txt"))
+        print(f"  [artifacts written under {out_dir}: "
+              "health.jsonl spans.jsonl metrics.jsonl prom.txt]")
+    if slo:
+        slo_report = evaluate_slos(DEFAULT_SCALE_SLOS, sim.slo_series())
+        print()
+        print(slo_report.format())
+        if not slo_report.ok:
+            print("[scale-smoke] FAIL: SLO budget burned")
+            ok = False
+    if obs_overhead is not None:
+        # a dedicated paired measurement (fresh sims, median of 3) — the
+        # single-shot route timing above includes artifact streaming and is
+        # too noisy to gate on.
+        sec = _bench_obs_overhead(n_nodes, n_queries, repeats=3)
+        frac = sec.meta["overhead_frac"]
+        print(f"  obs overhead: {sec.candidate_s:.2f}s instrumented vs "
+              f"{sec.baseline_s:.2f}s NullRegistry = {frac:+.1%} "
+              f"(bound {obs_overhead:.0%}, median of {sec.repeats})")
+        if frac > obs_overhead:
+            print(f"[scale-smoke] FAIL: observability overhead {frac:.1%} "
+                  f"exceeds {obs_overhead:.0%}")
+            ok = False
     if elapsed > budget_s:
         print(f"[scale-smoke] FAIL: exceeded wall-clock budget "
               f"({elapsed:.1f}s > {budget_s:.0f}s)")
-        return 1
-    print("[scale-smoke] OK")
-    return 0
+        ok = False
+    print("[scale-smoke] OK" if ok else "[scale-smoke] FAILED")
+    return 0 if ok else 1

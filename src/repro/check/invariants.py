@@ -54,10 +54,17 @@ class InvariantViolation(AssertionError):
 
 
 class _Reporter:
-    """Shared strict-or-collect violation plumbing."""
+    """Shared strict-or-collect violation plumbing.
 
-    def __init__(self, strict: bool = True) -> None:
+    ``flight`` optionally attaches a :class:`repro.obs.flight.FlightRecorder`:
+    every violation is recorded into its ring buffer and — strict or not —
+    triggers a bundle dump (reason ``invariant-violation``), so the recent
+    event tail is on disk before the exception unwinds anything.
+    """
+
+    def __init__(self, strict: bool = True, flight=None) -> None:
         self.strict = strict
+        self.flight = flight
         self.violations: list[InvariantViolation] = []
         #: passed checks per invariant name (proof the checker actually ran)
         self.checks: dict[str, int] = {}
@@ -67,6 +74,9 @@ class _Reporter:
 
     def _fail(self, name: str, details: str) -> None:
         violation = InvariantViolation(name, details)
+        if self.flight is not None:
+            self.flight.record("invariant-violation", name=name, details=details)
+            self.flight.dump(reason="invariant-violation")
         if self.strict:
             raise violation
         self.violations.append(violation)
@@ -90,8 +100,8 @@ class PartitionChecker(_Reporter):
       must tile the claimed interval with no gap and no overlap.
     """
 
-    def __init__(self, index, strict: bool = True) -> None:
-        super().__init__(strict)
+    def __init__(self, index, strict: bool = True, flight=None) -> None:
+        super().__init__(strict, flight=flight)
         self.index = index
 
     # -- Algorithm 4: the two halves tile the parent rectangle -----------------
@@ -219,8 +229,8 @@ class InvariantChecker(_Reporter):
     the last membership change).
     """
 
-    def __init__(self, platform=None, ring=None, strict: bool = True) -> None:
-        super().__init__(strict)
+    def __init__(self, platform=None, ring=None, strict: bool = True, flight=None) -> None:
+        super().__init__(strict, flight=flight)
         self.platform = platform
         self.ring = ring if ring is not None else (platform.ring if platform else None)
         #: lifecycle engines whose branch conservation is checked

@@ -9,6 +9,11 @@ minimal op sequence by Hypothesis — as a JSON replay bundle under
 variable) and names the file in the test report.  Reproduce with::
 
     PYTHONPATH=src python -m repro.cli replay .repro-bundles/<bundle>.json
+
+Flight recorders get the same treatment: when a test fails, every live
+:class:`repro.obs.flight.FlightRecorder` holding buffered events is dumped
+next to the replay bundles (``<nodeid>-flightN.json``); render with
+``python -m repro.cli flight <path>``.
 """
 
 from __future__ import annotations
@@ -35,6 +40,35 @@ def _bundle_path(nodeid: str) -> str:
     return os.path.join(bundle_dir(), f"{safe}.json")
 
 
+def _dump_flight_recorders(item, report) -> None:
+    """Write every live flight recorder with buffered events as a bundle.
+
+    Recorders register themselves in a WeakSet at construction
+    (:mod:`repro.obs.flight`), so any recorder the failing test created —
+    directly or inside a :class:`~repro.core.scale.ScaleSimulation` — leaves
+    its recent-event tail on disk without the test opting in.
+    """
+    from repro.obs import flight as _flight
+
+    recorders = [r for r in _flight.attached_recorders() if len(r)]
+    if not recorders:
+        return
+    os.makedirs(bundle_dir(), exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", item.nodeid)
+    paths = []
+    for n, rec in enumerate(recorders):
+        path = os.path.join(bundle_dir(), f"{safe}-flight{n}.json")
+        rec.dump(path, reason=f"test-failure:{item.nodeid}"[:200])
+        paths.append(path)
+    report.sections.append(
+        (
+            "flight bundles",
+            "\n".join(f"flight recorder tail written to {p}" for p in paths)
+            + "\ninspect with: python -m repro.cli flight <path>",
+        )
+    )
+
+
 @pytest.hookimpl(wrapper=True)
 def pytest_runtest_makereport(item, call):
     report = yield
@@ -55,4 +89,6 @@ def pytest_runtest_makereport(item, call):
                     )
                 )
             _replay.clear_scenario()
+        if report.failed:
+            _dump_flight_recorders(item, report)
     return report

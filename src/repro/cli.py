@@ -16,6 +16,11 @@ Usage::
     python -m repro trace QID --file DIR/spans.jsonl
     python -m repro replay BUNDLE.json [--differential] [--timeline]
     python -m repro fuzz [--runs N] [--ops N] [--loss P] [--out-dir DIR]
+    python -m repro scale-smoke [--out-dir DIR] [--obs-overhead 0.10] [--slo]
+    python -m repro top --health DIR/health.jsonl [--metrics DIR/metrics.jsonl]
+    python -m repro slo [--nodes N] [--queries N] [--json]
+    python -m repro serve --metrics DIR/metrics.jsonl --health DIR/health.jsonl
+    python -m repro flight BUNDLE.json [--rerun]
 
 The figure commands print the same tables the benchmark suite saves under
 ``benchmarks/results/``; ``--scale paper`` runs the authors' full parameters
@@ -165,6 +170,68 @@ def build_parser() -> argparse.ArgumentParser:
     smoke.add_argument("--budget", type=float, default=120.0,
                        help="wall-clock budget in seconds (default 120)")
     smoke.add_argument("--seed", type=int, default=0)
+    smoke.add_argument("--out-dir", default=None,
+                       help="stream health/spans JSONL during the run and "
+                            "write metrics.jsonl + prom.txt here")
+    smoke.add_argument("--obs-overhead", type=float, default=None,
+                       metavar="FRAC",
+                       help="also run with NullRegistry and fail if the "
+                            "instrumented run cost more than FRAC extra "
+                            "(e.g. 0.10)")
+    smoke.add_argument("--slo", action="store_true",
+                       help="evaluate the default SLO catalogue over the run "
+                            "and fail on burned budget")
+
+    top = sub.add_parser(
+        "top",
+        help="terminal dashboard over a running (or finished) scale "
+             "simulation's health/metrics JSONL artifacts",
+    )
+    top.add_argument("--health", required=True,
+                     help="health JSONL (scale-smoke --out-dir writes one)")
+    top.add_argument("--metrics", default=None, help="metrics JSONL (optional)")
+    top.add_argument("--follow", action="store_true",
+                     help="re-render every --interval seconds until Ctrl-C")
+    top.add_argument("--interval", type=float, default=2.0)
+    top.add_argument("--frames", type=int, default=None,
+                     help="with --follow: stop after N frames (default: forever)")
+
+    slo = sub.add_parser(
+        "slo",
+        help="run the default scale scenario and evaluate the SLO catalogue "
+             "(burn-rate gate; exit 1 on burned budget)",
+    )
+    slo.add_argument("--nodes", type=int, default=2_000)
+    slo.add_argument("--objects", type=int, default=None,
+                     help="default: 10 objects per node")
+    slo.add_argument("--queries", type=int, default=20_000)
+    slo.add_argument("--seed", type=int, default=0)
+    slo.add_argument("--json", action="store_true", help="machine-readable output")
+    slo.add_argument("--out", type=str, default=None)
+
+    srv = sub.add_parser(
+        "serve",
+        help="HTTP ops endpoint (/metrics Prometheus text, /health JSON) "
+             "tailing recorded JSONL artifacts",
+    )
+    srv.add_argument("--metrics", default=None, help="metrics JSONL to serve")
+    srv.add_argument("--health", default=None, help="health JSONL to serve")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=9464)
+    srv.add_argument("--duration", type=float, default=None,
+                     help="serve for this many seconds then exit "
+                          "(default: until Ctrl-C)")
+
+    flt = sub.add_parser(
+        "flight",
+        help="render a flight-recorder bundle (written on invariant failure, "
+             "deadline storm, or test crash); --rerun replays its config",
+    )
+    flt.add_argument("file", help="flight bundle JSON (.repro-bundles/flight-*.json)")
+    flt.add_argument("--max-events", type=int, default=50)
+    flt.add_argument("--rerun", action="store_true",
+                     help="re-execute the embedded ScaleConfig deterministically "
+                          "and re-check invariants")
 
     demo = sub.add_parser(
         "obs-demo",
@@ -531,6 +598,123 @@ def _run_bench(args) -> int:
     return 0
 
 
+def _run_top(args) -> int:
+    import time
+
+    from repro.obs import read_health_jsonl, render_top
+    from repro.obs.export import read_metrics_jsonl
+
+    def frame() -> str:
+        health = read_health_jsonl(args.health)
+        metrics = read_metrics_jsonl(args.metrics) if args.metrics else None
+        return render_top(health, metrics)
+
+    if not args.follow:
+        print(frame())
+        return 0
+    shown = 0
+    try:
+        while args.frames is None or shown < args.frames:
+            print(frame())
+            print()
+            shown += 1
+            if args.frames is not None and shown >= args.frames:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_slo(args) -> int:
+    import json
+
+    from repro.core.scale import ScaleConfig, ScaleSimulation
+    from repro.obs import DEFAULT_SCALE_SLOS, evaluate_slos
+    from repro.sim.king import king_coordinate_model
+
+    n_objects = args.objects if args.objects is not None else 10 * args.nodes
+    cfg = ScaleConfig(
+        n_nodes=args.nodes,
+        n_objects=n_objects,
+        n_queries=args.queries,
+        chunk=max(1, args.queries // 10),
+        local_solve_sample=256,
+        seed=args.seed,
+    )
+    sim = ScaleSimulation(
+        cfg, latency=king_coordinate_model(n_hosts=args.nodes, seed=args.seed)
+    )
+    sim.run()
+    report = evaluate_slos(DEFAULT_SCALE_SLOS, sim.slo_series())
+    if args.json:
+        _emit(json.dumps(report.to_dict(), indent=2), args.out)
+    else:
+        _emit(
+            f"[slo] {args.nodes} nodes, {n_objects} objects, "
+            f"{args.queries} queries (seed {args.seed})\n\n" + report.format(),
+            args.out,
+        )
+    return 0 if report.ok else 1
+
+
+def _run_serve(args) -> int:
+    import time
+
+    from repro.obs import serve_files
+
+    if args.metrics is None and args.health is None:
+        print("serve: need --metrics and/or --health")
+        return 2
+    server = serve_files(
+        metrics_path=args.metrics,
+        health_path=args.health,
+        host=args.host,
+        port=args.port,
+    )
+    with server:
+        print(f"serving {server.url}/metrics and {server.url}/health "
+              f"(Ctrl-C to stop)")
+        try:
+            if args.duration is not None:
+                time.sleep(args.duration)
+            else:
+                while True:
+                    time.sleep(3600.0)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def _run_flight(args) -> int:
+    from repro.obs import format_bundle, load_bundle
+
+    bundle = load_bundle(args.file)
+    print(format_bundle(bundle, max_events=args.max_events))
+    if not args.rerun:
+        return 0
+    ctx = bundle.get("context") or {}
+    cfg_dict = ctx.get("config")
+    if not cfg_dict:
+        print("\nrerun: bundle carries no replayable config")
+        return 1
+    from repro.core.scale import ScaleConfig, ScaleSimulation
+
+    cfg = ScaleConfig(**cfg_dict)
+    print(f"\nrerun: {cfg.n_nodes} nodes, {cfg.n_queries} queries, "
+          f"seed {cfg.seed}")
+    sim = ScaleSimulation(cfg)
+    try:
+        report = sim.run()
+        sim.check_invariants()
+    except AssertionError as exc:
+        print(f"rerun reproduced the failure: {exc}")
+        return 1
+    print(f"rerun clean: mean hops {report.mean_hops:.2f}, "
+          f"dropped {report.dropped}, {report.health_samples} health samples")
+    return 0
+
+
 def _run_obs_demo(args) -> None:
     from repro.eval.report import format_dict
     from repro.eval.demo import run_demo
@@ -606,7 +790,18 @@ def main(argv: list[str] | None = None) -> int:
             n_queries=args.queries,
             budget_s=args.budget,
             seed=args.seed,
+            out_dir=args.out_dir,
+            obs_overhead=args.obs_overhead,
+            slo=args.slo,
         )
+    elif args.command == "top":
+        return _run_top(args)
+    elif args.command == "slo":
+        return _run_slo(args)
+    elif args.command == "serve":
+        return _run_serve(args)
+    elif args.command == "flight":
+        return _run_flight(args)
     elif args.command == "obs-demo":
         _run_obs_demo(args)
     return 0

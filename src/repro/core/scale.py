@@ -29,7 +29,7 @@ this module is deterministic simulation state only.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any
 
 import numpy as np
@@ -44,12 +44,16 @@ from repro.metric.vector import EuclideanMetric
 from repro.obs import (
     DEFAULT_HOP_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
+    FlightRecorder,
     HealthSampler,
+    SpanRecorder,
+    TraceSampler,
+    gini_coefficient,
     hotspot_report,
     load_summary,
     record_load_vector,
 )
-from repro.obs.registry import MetricsRegistry, NullRegistry
+from repro.obs.registry import MetricsRegistry
 from repro.sim import LatencyModel, Simulator
 from repro.util.rng import as_rng, derive_rng
 
@@ -64,6 +68,10 @@ QUERY_LATENCY_HIST = "scale_query_latency_seconds"
 QUERY_HOPS_HIST = "scale_query_hops"
 FORWARD_LOAD_GAUGE = "scale_node_forwarding_visits"
 STORED_LOAD_GAUGE = "scale_node_stored_entries"
+QUERIES_ROUTED_TOTAL = "scale_queries_routed_total"
+QUERIES_SOLVED_TOTAL = "scale_queries_solved_total"
+QUERIES_DROPPED_TOTAL = "scale_queries_dropped_total"
+TRACE_SAMPLES_TOTAL = "scale_trace_samples_total"
 
 
 @dataclass(frozen=True)
@@ -98,6 +106,17 @@ class ScaleConfig:
     #: how many queries additionally run the owner-side range search
     #: (Python-loop priced, so sampled rather than exhaustive).
     local_solve_sample: int = 2_048
+    #: trace 1-in-N queries via :class:`~repro.obs.sampling.TraceSampler`
+    #: (deterministic qid hash — no RNG draws, replay-stable); 0 disables.
+    trace_sample_every: int = 1024
+    #: queries forwarded more than this many hops count as dropped
+    #: (matches the top of :data:`~repro.obs.registry.DEFAULT_HOP_BUCKETS`).
+    hop_deadline: int = 32
+    #: per-chunk dropped fraction above this triggers one flight-recorder
+    #: "deadline-storm" bundle dump for the run.
+    storm_threshold: float = 0.05
+    #: flight-recorder ring capacity (recent events kept for crash bundles).
+    flight_capacity: int = 4_096
 
 
 @dataclass
@@ -118,6 +137,9 @@ class ScaleReport:
     health_samples: int = 0
     local_solves: int = 0
     local_hits_mean: float = 0.0
+    dropped: int = 0
+    sampled_spans: int = 0
+    counters: dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -135,6 +157,9 @@ class ScaleReport:
             "health_samples": self.health_samples,
             "local_solves": self.local_solves,
             "local_hits_mean": self.local_hits_mean,
+            "dropped": self.dropped,
+            "sampled_spans": self.sampled_spans,
+            "counters": self.counters,
         }
 
 
@@ -146,10 +171,16 @@ class ScaleSimulation:
         cfg: ScaleConfig,
         latency: LatencyModel | None = None,
         registry: MetricsRegistry | None = None,
+        recorder: SpanRecorder | None = None,
+        flight: FlightRecorder | None = None,
+        health_jsonl: Any = None,
     ) -> None:
         self.cfg = cfg
         self.latency = latency
-        self.registry = registry if registry is not None else NullRegistry()
+        # Real metrics by default: the vectorised instruments (observe_many,
+        # counter adds per chunk) keep the overhead within the ≤10% budget
+        # asserted in bench, so NullRegistry is an opt-out, not the default.
+        self.registry = registry if registry is not None else MetricsRegistry()
         rng = as_rng(cfg.seed)
         self._rng_data = derive_rng(rng, "scale-data")
         self._rng_query = derive_rng(rng, "scale-query")
@@ -196,13 +227,41 @@ class ScaleSimulation:
             "Forwarding hops per scale query",
             buckets=DEFAULT_HOP_BUCKETS,
         )
+        self._c_routed = self.registry.counter(
+            QUERIES_ROUTED_TOTAL, "Queries routed through the compact ring")
+        self._c_solved = self.registry.counter(
+            QUERIES_SOLVED_TOTAL, "Queries that reached their owner within the hop deadline")
+        self._c_dropped = self.registry.counter(
+            QUERIES_DROPPED_TOTAL, "Queries exceeding the hop deadline")
+        self._c_traced = self.registry.counter(
+            TRACE_SAMPLES_TOTAL, "Queries kept by the deterministic trace sampler")
+        # Sampling is a pure hash of the qid — it draws no randomness, so
+        # attaching a recorder cannot perturb the seeded streams above.
+        self.tracer = TraceSampler(every=cfg.trace_sample_every)
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.bind(self.sim)
+        self.flight = flight if flight is not None else FlightRecorder(
+            capacity=cfg.flight_capacity,
+            clock=lambda: self.sim.now,
+            context={"scenario": "scale", "config": asdict(cfg)},
+        )
         self.forward_visits = np.zeros(cfg.n_nodes, dtype=np.int64)
+        #: per-chunk summary rows, the substrate of :meth:`slo_series`
+        self.chunk_stats: list[dict[str, float]] = []
+        self._local_hits: list[int] = []
+        self._storm_dumped = False
         self.sampler = HealthSampler(
             self.sim,
             interval=1.0,
             registry=self.registry,
             load_fn=lambda: self.forward_visits,
-            probes={"live_nodes": lambda: float(len(self.ring))},
+            probes={
+                "live_nodes": lambda: float(len(self.ring)),
+                "routed_total": lambda: self._c_routed.total(),
+                "dropped_total": lambda: self._c_dropped.total(),
+            },
+            jsonl=health_jsonl,
         )
 
     def _draw_points(self, rng: np.random.Generator, n: int) -> np.ndarray:
@@ -217,7 +276,16 @@ class ScaleSimulation:
     # -- invariants ---------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Structural checks over ring + store; AssertionError on violation."""
+        """Structural checks over ring + store; AssertionError on violation.
+
+        A violation dumps a flight bundle (reason ``invariant-violation``)
+        before the assertion propagates, so the buffered chunk history and
+        the replayable config land on disk next to the failure.
+        """
+        with self.flight.dump_on_error("invariant-violation"):
+            self._check_invariants()
+
+    def _check_invariants(self) -> None:
         self.ring.check_invariants()
         offsets = self.store.offsets
         assert offsets[0] == 0 and offsets[-1] == len(self.store)
@@ -247,6 +315,8 @@ class ScaleSimulation:
         local_hits: list[int] = []
         routed = 0
         chunk_no = 0
+        dropped_total = 0
+        sampled_total = 0
         while routed < nq:
             size = min(cfg.chunk, nq - routed)
             qpts = self._draw_points(self._rng_query, size)
@@ -266,10 +336,42 @@ class ScaleSimulation:
             all_lat.append(lat)
             self._hist_hops.observe_many(hops.astype(np.float64))
             self._hist_latency.observe_many(lat)
+            dropped_mask = hops > cfg.hop_deadline if cfg.hop_deadline > 0 else hops < 0
+            n_dropped = int(dropped_mask.sum())
+            self._c_routed.add(float(size))
+            self._c_dropped.add(float(n_dropped))
+            self._c_solved.add(float(size - n_dropped))
+            dropped_total += n_dropped
+            sampled_total += self._trace_chunk(
+                routed, size, src, owner, hops, lat, dropped_mask)
+            stats = {
+                "chunk": float(chunk_no),
+                "routed": float(size),
+                "dropped_frac": n_dropped / size if size else 0.0,
+                "hops_p99": float(np.percentile(hops, 99)) if size else 0.0,
+                "latency_p99_s": float(np.percentile(lat, 99)) if size else 0.0,
+            }
+            self.chunk_stats.append(stats)
+            self.flight.record("chunk", **{k: v for k, v in stats.items()})
+            if (
+                stats["dropped_frac"] > cfg.storm_threshold
+                and not self._storm_dumped
+            ):
+                # one bundle per run: the first storm captures the tail that
+                # led into it; later storms would only repeat the picture.
+                self._storm_dumped = True
+                self.flight.record(
+                    "deadline-storm",
+                    chunk=chunk_no,
+                    dropped_frac=stats["dropped_frac"],
+                    hop_deadline=cfg.hop_deadline,
+                )
+                self.flight.dump(reason="deadline-storm")
             if chunk_no == 0 and cfg.local_solve_sample > 0:
                 local_hits = self._local_solve(
                     qproj[: cfg.local_solve_sample], owner[: cfg.local_solve_sample]
                 )
+                self._local_hits = local_hits
             routed += size
             chunk_no += 1
             # one virtual second per chunk lets the health sampler tick
@@ -300,7 +402,75 @@ class ScaleSimulation:
             health_samples=len(self.sampler.samples),
             local_solves=len(local_hits),
             local_hits_mean=float(np.mean(local_hits)) if local_hits else 0.0,
+            dropped=dropped_total,
+            sampled_spans=sampled_total,
+            counters={
+                "routed": self._c_routed.total(),
+                "solved": self._c_solved.total(),
+                "dropped": self._c_dropped.total(),
+                "trace_samples": self._c_traced.total(),
+            },
         )
+
+    def _trace_chunk(
+        self,
+        base: int,
+        size: int,
+        src: np.ndarray,
+        owner: np.ndarray,
+        hops: np.ndarray,
+        lat: np.ndarray,
+        dropped_mask: np.ndarray,
+    ) -> int:
+        """Emit spans for the deterministically sampled qids of one chunk.
+
+        qids are the global query ordinals ``base..base+size``; the sampler
+        mask is a pure hash, so the same qids are kept on every replay and
+        whether or not a recorder is attached.
+        """
+        qids = np.arange(base, base + size, dtype=np.uint64)
+        mask = self.tracer.mask(qids)
+        n = int(mask.sum())
+        if n:
+            self._c_traced.add(float(n))
+        rec = self.recorder
+        if rec is None or n == 0:
+            return n
+        for i in np.flatnonzero(mask):
+            qid = int(qids[i])
+            rec.begin_query(qid, src=int(src[i]))
+            rec.event(
+                qid, "route",
+                node=int(owner[i]),
+                hops=int(hops[i]),
+                latency_s=float(lat[i]),
+            )
+            rec.finish_query(
+                qid, status="dropped" if bool(dropped_mask[i]) else "complete")
+        return n
+
+    def slo_series(self) -> dict[str, list[float]]:
+        """The ``{series: values}`` map :data:`~repro.obs.slo.DEFAULT_SCALE_SLOS`
+        evaluates — per-chunk tails plus run-final balance/recall/cadence."""
+        n_chunks = len(self.chunk_stats)
+        series: dict[str, list[float]] = {
+            "chunk_latency_p99_s": [c["latency_p99_s"] for c in self.chunk_stats],
+            "chunk_hops_p99": [c["hops_p99"] for c in self.chunk_stats],
+            "chunk_dropped_frac": [c["dropped_frac"] for c in self.chunk_stats],
+            "storage_gini": [
+                float(gini_coefficient(self.store.loads().astype(np.float64)))],
+            "forwarding_gini": [
+                float(gini_coefficient(self.forward_visits.astype(np.float64)))],
+        }
+        if self._local_hits:
+            series["local_hit_rate"] = [
+                sum(1 for h in self._local_hits if h > 0) / len(self._local_hits)]
+        else:
+            series["local_hit_rate"] = []
+        series["health_cadence_ratio"] = (
+            [len(self.sampler.samples) / n_chunks] if n_chunks else []
+        )
+        return series
 
     def _local_solve(self, qproj: np.ndarray, owner: np.ndarray) -> list[int]:
         """Owner-side rectangle searches for a sample of routed queries.

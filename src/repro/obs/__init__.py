@@ -26,12 +26,29 @@ from .export import (
     format_metrics_rows,
     format_metrics_table,
     prometheus_text,
+    prometheus_text_from_rows,
     read_metrics_jsonl,
     write_csv,
     write_jsonl,
     write_prometheus,
 )
+from .flight import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    attached_recorders,
+    format_bundle,
+    load_bundle,
+)
 from .health import HealthSample, HealthSampler
+from .ops import (
+    ObsHTTPServer,
+    read_health_jsonl,
+    render_top,
+    serve_files,
+    serve_registry,
+    sparkline,
+    throughput_series,
+)
 from .load import (
     QUERY_HITS_GAUGE,
     STORED_ENTRIES_GAUGE,
@@ -51,6 +68,16 @@ from .registry import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+)
+from .sampling import TraceSampler, splitmix64, splitmix64_array
+from .slo import (
+    DEFAULT_SCALE_SLOS,
+    SLO,
+    SloReport,
+    SloResult,
+    burn_rate,
+    evaluate_slo,
+    evaluate_slos,
 )
 from .spans import (
     JsonlSpanSink,
@@ -81,8 +108,19 @@ __all__ = [
     "hotspot_report", "format_hotspot_report",
     # export
     "write_jsonl", "write_csv", "read_metrics_jsonl",
-    "prometheus_text", "write_prometheus",
+    "prometheus_text", "prometheus_text_from_rows", "write_prometheus",
     "export_metrics", "format_metrics_table", "format_metrics_rows",
+    # sampling
+    "TraceSampler", "splitmix64", "splitmix64_array",
+    # flight recorder
+    "FLIGHT_SCHEMA", "FlightRecorder", "attached_recorders",
+    "load_bundle", "format_bundle",
+    # slo
+    "SLO", "SloResult", "SloReport", "burn_rate",
+    "evaluate_slo", "evaluate_slos", "DEFAULT_SCALE_SLOS",
+    # ops surface
+    "read_health_jsonl", "throughput_series", "sparkline", "render_top",
+    "ObsHTTPServer", "serve_registry", "serve_files",
 ]
 
 
@@ -163,7 +201,7 @@ class Observability:
             return
         self._closed = True
         for sampler in self.samplers:
-            sampler.stop()
+            sampler.close()
         if self.recorder is not None:
             self.recorder.close()
 

@@ -21,6 +21,7 @@ __all__ = [
     "write_csv",
     "read_metrics_jsonl",
     "prometheus_text",
+    "prometheus_text_from_rows",
     "write_prometheus",
     "export_metrics",
     "format_metrics_table",
@@ -120,9 +121,20 @@ def prometheus_text(registry) -> str:
     ``_sum``/``_count`` — the registry snapshots pre-computed percentiles
     rather than raw buckets, which is what the CLI and artifacts want.
     """
+    return prometheus_text_from_rows(registry.snapshot())
+
+
+def prometheus_text_from_rows(rows: list[dict]) -> str:
+    """Prometheus text from flat snapshot rows (live or reloaded JSONL).
+
+    The same rows :meth:`MetricsRegistry.snapshot` produces — which is also
+    what :func:`read_metrics_jsonl` returns — so the HTTP ops endpoint can
+    re-export a *recorded* metrics stream from a running simulation's
+    artifacts without holding the registry in-process.
+    """
     buf = io.StringIO()
     seen: set[str] = set()
-    for rec in registry.snapshot():
+    for rec in rows:
         name = rec["name"]
         if name not in seen:
             seen.add(name)

@@ -1,0 +1,222 @@
+"""Flight recorder: a bounded ring of recent events, dumped on failure.
+
+A 100k-node / 1M-query run produces far too much telemetry to keep, but
+when an invariant trips, a deadline storm hits, or the process dies, the
+*recent* history is exactly what diagnosis needs.  The
+:class:`FlightRecorder` keeps a fixed-size ring buffer of events — chunk
+summaries, fault draws, invariant outcomes, whatever the owner records —
+and on demand writes a **flight bundle**: a JSON file holding the reason,
+the run's context (typically the full :class:`~repro.core.scale.ScaleConfig`
+as a dict, seed included) and the buffered tail of events.  Because the
+context carries the deterministic configuration, the bundle is replayable:
+re-running the same config/seed reproduces the failing run bit-for-bit
+(``repro flight BUNDLE --rerun``).
+
+Integration points:
+
+* :meth:`dump_on_error` wraps a block (e.g. an invariant check) and dumps
+  the bundle before re-raising;
+* :class:`repro.check.invariants.InvariantChecker` accepts ``flight=`` and
+  dumps on every violation;
+* the pytest plugin (``repro.check.pytest_plugin``) dumps every *attached*
+  recorder with buffered events when a test fails — recorders register
+  themselves in a module-level ``WeakSet`` at construction, so a crashed
+  test leaves its bundles under ``.repro-bundles/`` automatically.
+
+The recorder never reads the wall clock (DET101): timestamps come from the
+``clock`` callable the owner supplies, normally a simulator's ``now``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import weakref
+from collections import deque
+from collections.abc import Callable
+from contextlib import contextmanager
+from typing import Any
+
+__all__ = [
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+    "attached_recorders",
+    "load_bundle",
+    "format_bundle",
+]
+
+#: schema identifier stored in every bundle; bump on breaking changes
+FLIGHT_SCHEMA = "repro-flight/1"
+
+#: environment variable overriding the default dump directory
+FLIGHT_DIR_ENV = "REPRO_FLIGHT_DIR"
+_DEFAULT_DIR = ".repro-bundles"
+
+#: live recorders, for the pytest plugin's crash dumps
+_ATTACHED: weakref.WeakSet[FlightRecorder] = weakref.WeakSet()
+
+
+def attached_recorders() -> list[FlightRecorder]:
+    """Every live recorder, in no particular order (WeakSet snapshot)."""
+    return list(_ATTACHED)
+
+
+class FlightRecorder:
+    """A fixed-capacity ring buffer of ``(time, kind, shard, attrs)`` events.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum buffered events; older events fall off the front.
+    clock:
+        Zero-argument callable returning the current (simulated) time for
+        each recorded event; defaults to a constant 0.0.
+    shard:
+        Default shard tag for events (a sharded/parallel run gives each
+        ring segment its own recorder or its own tag).
+    context:
+        Replay context stored in every bundle — the deterministic run
+        configuration (config dict, seed, scenario name).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        clock: Callable[[], float] | None = None,
+        shard: int = 0,
+        context: dict[str, Any] | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.clock = clock
+        self.shard = int(shard)
+        self.context: dict[str, Any] = dict(context or {})
+        self._buf: deque[dict[str, Any]] = deque(maxlen=self.capacity)
+        self.recorded = 0
+        #: paths of bundles written by :meth:`dump`
+        self.dumps: list[str] = []
+        _ATTACHED.add(self)
+
+    def _now(self) -> float:
+        return float(self.clock()) if self.clock is not None else 0.0
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, kind: str, shard: int | None = None, **attrs: Any) -> None:
+        """Append one event; O(1), old events evicted beyond capacity."""
+        self._buf.append(
+            {
+                "time": self._now(),
+                "kind": kind,
+                "shard": self.shard if shard is None else int(shard),
+                "attrs": attrs,
+            }
+        )
+        self.recorded += 1
+
+    def events(self) -> list[dict[str, Any]]:
+        """The buffered tail, oldest first."""
+        return list(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    # -- bundles -----------------------------------------------------------------
+
+    def bundle(self, reason: str) -> dict[str, Any]:
+        """The dump payload: schema + reason + context + buffered events."""
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "reason": reason,
+            "context": self.context,
+            "shard": self.shard,
+            "capacity": self.capacity,
+            "recorded_total": self.recorded,
+            "events": self.events(),
+        }
+
+    def dump(self, target: Any = None, reason: str = "manual") -> str:
+        """Write the bundle as JSON; returns the path written.
+
+        ``target`` may be a path, a file-like object, or ``None`` — then a
+        deterministic name ``flight-<reason>[-N].json`` is chosen under
+        ``$REPRO_FLIGHT_DIR`` (default ``.repro-bundles/``).
+        """
+        payload = self.bundle(reason)
+        if target is not None and hasattr(target, "write"):
+            json.dump(payload, target, indent=2)
+            target.write("\n")
+            path = getattr(target, "name", "<stream>")
+        else:
+            path = str(target) if target is not None else self._default_path(reason)
+            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+        self.dumps.append(path)
+        return path
+
+    @staticmethod
+    def _default_path(reason: str) -> str:
+        base = os.environ.get(FLIGHT_DIR_ENV, _DEFAULT_DIR)
+        safe = "".join(c if c.isalnum() or c in "-._" else "_" for c in reason)
+        path = os.path.join(base, f"flight-{safe}.json")
+        n = 1
+        while os.path.exists(path):
+            path = os.path.join(base, f"flight-{safe}-{n}.json")
+            n += 1
+        return path
+
+    @contextmanager
+    def dump_on_error(self, reason: str):
+        """Run a block; on any exception, dump a bundle and re-raise.
+
+        The exception is recorded as a final event so the bundle's tail
+        shows what the system was doing when it died.
+        """
+        try:
+            yield self
+        except BaseException as exc:
+            self.record("error", error=f"{type(exc).__name__}: {exc}")
+            self.dump(reason=reason)
+            raise
+
+
+def load_bundle(target: Any) -> dict[str, Any]:
+    """Load a flight bundle, validating the schema marker."""
+    if hasattr(target, "read"):
+        payload = json.load(target)
+    else:
+        with open(target, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    if payload.get("schema") != FLIGHT_SCHEMA:
+        raise ValueError(
+            f"not a {FLIGHT_SCHEMA} bundle (schema={payload.get('schema')!r})"
+        )
+    return payload
+
+
+def format_bundle(bundle: dict[str, Any], max_events: int = 50) -> str:
+    """Human-readable timeline of a bundle (the ``repro flight`` output)."""
+    lines = [
+        f"flight bundle: reason={bundle.get('reason', '?')!r} "
+        f"shard={bundle.get('shard', 0)} "
+        f"{len(bundle.get('events', []))} buffered / "
+        f"{bundle.get('recorded_total', 0)} recorded",
+    ]
+    ctx = bundle.get("context") or {}
+    if ctx:
+        ctx_bits = ", ".join(f"{k}={v}" for k, v in sorted(ctx.items()))
+        lines.append(f"context: {ctx_bits}")
+    events = bundle.get("events", [])
+    shown = events[-max_events:]
+    if len(events) > len(shown):
+        lines.append(f"... {len(events) - len(shown)} earlier event(s) omitted")
+    for e in shown:
+        attrs = e.get("attrs") or {}
+        attr_bits = " ".join(f"{k}={v}" for k, v in attrs.items())
+        lines.append(
+            f"  t={e.get('time', 0.0):>9.3f} [{e.get('kind', '?')}] {attr_bits}"
+        )
+    return "\n".join(lines)

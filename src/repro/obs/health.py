@@ -21,6 +21,7 @@ same exporters serve both one-shot metrics and the time series.
 
 from __future__ import annotations
 
+import json
 from dataclasses import asdict, dataclass, field
 from collections.abc import Callable
 from typing import Any
@@ -71,6 +72,7 @@ class HealthSampler:
         load_fn: Callable[[], Any] | None = None,
         registry=None,
         probes: dict[str, Callable[[], float]] | None = None,
+        jsonl: Any = None,
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -84,6 +86,12 @@ class HealthSampler:
         self.samples: list[HealthSample] = []
         self._running = False
         self._until: float | None = None
+        # Optional live JSONL stream: every sample is written and flushed as
+        # one line, so `repro top`/`repro serve` can tail a running sim.
+        self._jsonl_owned = jsonl is not None and not hasattr(jsonl, "write")
+        self._jsonl = (
+            open(jsonl, "w", encoding="utf-8") if self._jsonl_owned else jsonl
+        )
         if registry is not None and registry.enabled:
             self._g_queue = registry.gauge(
                 "health_event_queue_depth", "Pending simulator events at last sample")
@@ -113,6 +121,14 @@ class HealthSampler:
     def stop(self) -> None:
         """Stop sampling; a queued tick becomes a no-op."""
         self._running = False
+
+    def close(self) -> None:
+        """Stop sampling and close an owned JSONL stream (idempotent)."""
+        self.stop()
+        if self._jsonl_owned and self._jsonl is not None:
+            self._jsonl.close()
+            self._jsonl = None
+            self._jsonl_owned = False
 
     def _tick(self) -> None:
         if not self._running:
@@ -158,6 +174,9 @@ class HealthSampler:
             s.extra[name] = float(probe())
         self.samples.append(s)
         self._mirror(s)
+        if self._jsonl is not None:
+            self._jsonl.write(json.dumps(s.to_dict()) + "\n")
+            self._jsonl.flush()
         return s
 
     def _mirror(self, s: HealthSample) -> None:

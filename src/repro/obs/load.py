@@ -64,8 +64,11 @@ def record_load_vector(registry, loads, metric: str = STORED_ENTRIES_GAUGE,
     """
     gauge = registry.gauge(
         metric, "Per-node load vector", extra_labels + ("pos",))
-    for pos, v in enumerate(np.asarray(loads, dtype=float)):
-        gauge.set(float(v), extra_values + (str(pos),))
+    arr = np.asarray(loads, dtype=float)
+    gauge.set_many(
+        arr.tolist(),
+        [extra_values + (str(pos),) for pos in range(len(arr))],
+    )
 
 
 def gauge_vector(registry, metric: str = STORED_ENTRIES_GAUGE,

@@ -116,6 +116,18 @@ class Gauge(_Instrument):
     def set(self, value: float, labels: tuple = ()) -> None:
         self.values[self._check(labels)] = float(value)
 
+    def set_many(self, values, labelsets) -> None:
+        """Bulk :meth:`set` over aligned ``values``/``labelsets`` sequences.
+
+        One dict update instead of a checked call per sample — the cheap way
+        to materialise a per-node vector gauge (labels are validated once on
+        the first set; the caller produces homogeneous labelsets).
+        """
+        labelsets = list(labelsets)
+        if labelsets:
+            self._check(labelsets[0])
+        self.values.update(zip(labelsets, (float(v) for v in values)))
+
     def inc(self, labels: tuple = (), amount: float = 1.0) -> None:
         key = self._check(labels)
         self.values[key] = self.values.get(key, 0.0) + amount
@@ -378,6 +390,9 @@ class _NullInstrument:
         pass
 
     def set(self, value, labels=()) -> None:
+        pass
+
+    def set_many(self, values, labelsets) -> None:
         pass
 
     def observe(self, value, labels=()) -> None:

@@ -1,0 +1,95 @@
+"""Deterministic qid-based trace sampling for million-query runs.
+
+Full span tracing of a 1M-query :class:`repro.core.scale.ScaleSimulation`
+would write millions of records and dominate the run it observes.  The
+scale path instead samples: a :class:`TraceSampler` keeps 1-in-``every``
+queries, chosen by a *deterministic hash of the query id* rather than an
+RNG draw.  That choice matters twice over:
+
+* **replay stability** — the sampling decision consumes no randomness, so
+  enabling or disabling tracing cannot perturb a seeded run's RNG streams,
+  and the *same* queries are sampled on every replay of the same scenario
+  (the ``RunFingerprint`` digests stay bit-identical with tracing on or
+  off);
+* **no coordination** — any shard of a partitioned run can decide locally
+  whether a qid is sampled, with no shared counter.
+
+The hash is SplitMix64 (the avalanche finalizer used to seed PRNG states),
+computed either scalar in Python integers or vectorised over a ``uint64``
+numpy array — both produce identical bits, asserted by the tests.  The
+builtin ``hash()`` is deliberately *not* used: it is salted per process
+(DET103), which would make sampling machine-dependent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TraceSampler", "splitmix64", "splitmix64_array"]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def splitmix64(x: int) -> int:
+    """The SplitMix64 finalizer over a Python int (64-bit wrapping)."""
+    z = (x + _GOLDEN) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    return z ^ (z >> 31)
+
+
+def splitmix64_array(x: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`splitmix64`: bit-identical to the scalar form.
+
+    Array integer arithmetic in numpy wraps silently (no overflow warnings,
+    unlike ``uint64`` *scalars*), so the whole pipeline stays in ``uint64``
+    arrays.
+    """
+    z = x.astype(np.uint64, copy=True)
+    z += np.uint64(_GOLDEN)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX1)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX2)
+    return z ^ (z >> np.uint64(31))
+
+
+class TraceSampler:
+    """Keep 1-in-``every`` query ids, deterministically.
+
+    ``every <= 0`` disables sampling entirely (nothing kept); ``every == 1``
+    keeps everything.  ``salt`` decorrelates samplers (e.g. per tenant or
+    per run) without touching any RNG: two samplers with different salts
+    pick different — but individually stable — query subsets.
+    """
+
+    def __init__(self, every: int = 1024, salt: int = 0) -> None:
+        self.every = int(every)
+        self.salt = int(salt) & _MASK64
+
+    @property
+    def rate(self) -> float:
+        """Expected kept fraction (0.0 when disabled)."""
+        return 0.0 if self.every <= 0 else 1.0 / self.every
+
+    def sample(self, qid: int) -> bool:
+        """Is ``qid`` in the sampled subset?  Pure arithmetic, no state."""
+        if self.every <= 0:
+            return False
+        if self.every == 1:
+            return True
+        return splitmix64((int(qid) ^ self.salt) & _MASK64) % self.every == 0
+
+    def mask(self, qids: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`sample` over an array of qids (bool mask)."""
+        qids = np.asarray(qids)
+        if self.every <= 0:
+            return np.zeros(qids.shape, dtype=bool)
+        if self.every == 1:
+            return np.ones(qids.shape, dtype=bool)
+        h = splitmix64_array(qids.astype(np.uint64) ^ np.uint64(self.salt))
+        return h % np.uint64(self.every) == 0
+
+    def __repr__(self) -> str:
+        return f"TraceSampler(every={self.every}, salt={self.salt:#x})"

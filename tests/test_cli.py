@@ -75,3 +75,97 @@ class TestExecution:
         rc = main(["check", "--seed", "3"])
         assert rc == 0
         assert "self-check: 5 passed" in capsys.readouterr().out
+
+
+class TestOpsCommands:
+    def test_top_requires_health(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["top"])
+
+    def test_top_renders_health_tail(self, capsys, tmp_path):
+        import json
+
+        health = tmp_path / "health.jsonl"
+        rows = [
+            {"time": float(i), "event_queue_depth": 1, "in_flight_branches": 0,
+             "live_nodes": 10, "total_nodes": 10, "load_deciles": [],
+             "extra": {"routed_total": 100.0 * i}}
+            for i in range(3)
+        ]
+        health.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        assert main(["top", "--health", str(health)]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out and "throughput" in out
+
+    def test_top_follow_frames(self, capsys, tmp_path):
+        health = tmp_path / "health.jsonl"
+        health.write_text('{"time": 1.0}\n')
+        rc = main(["top", "--health", str(health), "--follow",
+                   "--frames", "2", "--interval", "0.01"])
+        assert rc == 0
+        assert capsys.readouterr().out.count("repro top") == 2
+
+    def test_serve_needs_a_source(self, capsys):
+        assert main(["serve"]) == 2
+        assert "need --metrics" in capsys.readouterr().out
+
+    def test_serve_for_duration(self, capsys, tmp_path):
+        health = tmp_path / "health.jsonl"
+        health.write_text('{"time": 1.0}\n')
+        rc = main(["serve", "--health", str(health), "--port", "0",
+                   "--duration", "0.05"])
+        assert rc == 0
+        assert "serving http://" in capsys.readouterr().out
+
+    def test_slo_gate_passes_small_run(self, capsys, tmp_path):
+        out = tmp_path / "slo.txt"
+        rc = main(["slo", "--nodes", "400", "--queries", "2000",
+                   "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "7/7 SLOs met" in text
+        assert out.read_text().startswith("[slo]")
+
+    def test_slo_json_output(self, capsys):
+        import json
+
+        rc = main(["slo", "--nodes", "400", "--queries", "2000", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert len(payload["slos"]) == 7
+
+    def test_flight_show_and_rerun(self, capsys, tmp_path):
+        from dataclasses import asdict
+
+        from repro.core.scale import ScaleConfig
+        from repro.obs import FlightRecorder
+
+        cfg = ScaleConfig(n_nodes=200, n_objects=400, n_queries=200,
+                          chunk=100, dim=4, n_landmarks=3,
+                          local_solve_sample=32)
+        rec = FlightRecorder(
+            capacity=8, context={"scenario": "scale", "config": asdict(cfg)})
+        rec.record("chunk", routed=100)
+        path = rec.dump(tmp_path / "bundle.json", reason="deadline-storm")
+        assert main(["flight", str(path)]) == 0
+        assert "reason='deadline-storm'" in capsys.readouterr().out
+        assert main(["flight", str(path), "--rerun"]) == 0
+        assert "rerun clean" in capsys.readouterr().out
+
+    def test_flight_rerun_without_config(self, capsys, tmp_path):
+        from repro.obs import FlightRecorder
+
+        path = FlightRecorder(capacity=2).dump(
+            tmp_path / "bare.json", reason="manual")
+        assert main(["flight", str(path), "--rerun"]) == 1
+        assert "no replayable config" in capsys.readouterr().out
+
+    def test_scale_smoke_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        rc = main(["scale-smoke", "--nodes", "400", "--queries", "400",
+                   "--out-dir", str(out_dir)])
+        assert rc == 0
+        assert "scale-smoke] OK" in capsys.readouterr().out
+        for name in ("health.jsonl", "spans.jsonl", "metrics.jsonl", "prom.txt"):
+            assert (out_dir / name).exists(), name

@@ -1,0 +1,134 @@
+"""Flight recorder: ring-buffer bounds, bundle roundtrips, failure dumps."""
+
+from __future__ import annotations
+
+import io
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.check.invariants import InvariantViolation, PartitionChecker
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    attached_recorders,
+    format_bundle,
+    load_bundle,
+)
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("tick", i=i)
+        assert len(rec) == 4
+        assert rec.recorded == 10
+        assert [e["attrs"]["i"] for e in rec.events()] == [6, 7, 8, 9]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_clock_and_shard_tagging(self):
+        t = SimpleNamespace(now=0.0)
+        rec = FlightRecorder(capacity=8, clock=lambda: t.now, shard=3)
+        rec.record("a")
+        t.now = 2.5
+        rec.record("b", shard=7)
+        ev = rec.events()
+        assert (ev[0]["time"], ev[0]["shard"]) == (0.0, 3)
+        assert (ev[1]["time"], ev[1]["shard"]) == (2.5, 7)
+
+    def test_registered_for_crash_dumps(self):
+        rec = FlightRecorder(capacity=2)
+        assert rec in attached_recorders()
+
+
+class TestBundles:
+    def test_dump_load_roundtrip(self, tmp_path):
+        rec = FlightRecorder(capacity=8, context={"scenario": "t", "seed": 5})
+        rec.record("chunk", routed=100)
+        path = rec.dump(tmp_path / "b.json", reason="unit-test")
+        assert rec.dumps == [str(path)]
+        bundle = load_bundle(path)
+        assert bundle["schema"] == FLIGHT_SCHEMA
+        assert bundle["reason"] == "unit-test"
+        assert bundle["context"] == {"scenario": "t", "seed": 5}
+        assert bundle["recorded_total"] == 1
+        assert bundle["events"][0]["attrs"] == {"routed": 100}
+
+    def test_default_path_under_env_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        rec = FlightRecorder(capacity=2)
+        p1 = rec.dump(reason="storm storm!")
+        p2 = rec.dump(reason="storm storm!")
+        assert p1 != p2  # collision gets a -N suffix
+        assert p1.startswith(str(tmp_path))
+        assert "storm_storm_" in p1  # unsafe chars sanitised
+        assert load_bundle(p2)["reason"] == "storm storm!"
+
+    def test_dump_to_stream(self):
+        rec = FlightRecorder(capacity=2)
+        rec.record("x")
+        buf = io.StringIO()
+        rec.dump(buf, reason="stream")
+        assert json.loads(buf.getvalue())["reason"] == "stream"
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"schema": "other/9", "events": []}))
+        with pytest.raises(ValueError, match="not a repro-flight/1"):
+            load_bundle(p)
+
+    def test_dump_on_error_dumps_and_reraises(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        rec = FlightRecorder(capacity=8)
+        rec.record("before")
+        with pytest.raises(RuntimeError, match="boom"):
+            with rec.dump_on_error("invariant-violation"):
+                raise RuntimeError("boom")
+        assert len(rec.dumps) == 1
+        bundle = load_bundle(rec.dumps[0])
+        assert bundle["reason"] == "invariant-violation"
+        kinds = [e["kind"] for e in bundle["events"]]
+        assert kinds == ["before", "error"]
+        assert "RuntimeError: boom" in bundle["events"][-1]["attrs"]["error"]
+
+    def test_format_bundle_truncates(self):
+        rec = FlightRecorder(capacity=100, context={"seed": 1})
+        for i in range(20):
+            rec.record("tick", i=i)
+        text = format_bundle(rec.bundle("r"), max_events=5)
+        assert "reason='r'" in text
+        assert "seed=1" in text
+        assert "15 earlier event(s) omitted" in text
+        assert "i=19" in text and "i=3" not in text
+
+
+class TestInvariantCheckerIntegration:
+    def _checker(self, flight, strict):
+        index = SimpleNamespace(m=16, bounds=SimpleNamespace(k=2))
+        return PartitionChecker(index, strict=strict, flight=flight)
+
+    def test_violation_dumps_bundle(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        flight = FlightRecorder(capacity=8)
+        checker = self._checker(flight, strict=True)
+        q = SimpleNamespace(qid=9, prefix_len=0, prefix_key=0)
+        with pytest.raises(InvariantViolation):
+            checker.on_split(q, [])  # wrong arity
+        assert len(flight.dumps) == 1
+        bundle = load_bundle(flight.dumps[0])
+        assert bundle["reason"] == "invariant-violation"
+        assert bundle["events"][-1]["attrs"]["name"] == "split.arity"
+
+    def test_collect_mode_still_dumps(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        flight = FlightRecorder(capacity=8)
+        checker = self._checker(flight, strict=False)
+        q = SimpleNamespace(qid=9, prefix_len=0, prefix_key=0)
+        checker.on_split(q, [])
+        assert not checker.ok
+        assert len(flight.dumps) == 1

@@ -1,0 +1,172 @@
+"""The live ops surface: dashboard rendering and the HTTP endpoint."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.obs.export import write_jsonl
+from repro.obs.ops import (
+    ObsHTTPServer,
+    read_health_jsonl,
+    render_top,
+    serve_files,
+    serve_registry,
+    sparkline,
+    throughput_series,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def _health_rows():
+    rows = []
+    for i in range(4):
+        rows.append({
+            "time": float(i),
+            "event_queue_depth": 2,
+            "in_flight_branches": 1,
+            "live_nodes": 0,
+            "total_nodes": 0,
+            "load_deciles": [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0],
+            "extra": {"live_nodes": 500.0, "routed_total": 1000.0 * i},
+        })
+    return rows
+
+
+class TestReadHealthJsonl:
+    def test_tolerates_partial_trailing_line(self, tmp_path):
+        p = tmp_path / "health.jsonl"
+        p.write_text(json.dumps({"time": 1.0}) + "\n" + '{"time": 2.0, "ev')
+        rows = read_health_jsonl(p)
+        assert rows == [{"time": 1.0}]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_health_jsonl(tmp_path / "nope.jsonl") == []
+
+    def test_reads_file_like(self):
+        import io
+
+        assert read_health_jsonl(io.StringIO('{"time": 3.0}\n')) == [{"time": 3.0}]
+
+
+class TestThroughput:
+    def test_rate_from_cumulative_probe(self):
+        rates = throughput_series(_health_rows())
+        assert rates == [1000.0, 1000.0, 1000.0]
+
+    def test_skips_samples_without_probe(self):
+        rows = _health_rows()
+        rows.insert(2, {"time": 1.5, "extra": {}})
+        assert throughput_series(rows) == [1000.0, 1000.0, 1000.0]
+
+    def test_empty(self):
+        assert throughput_series([]) == []
+
+
+class TestSparkline:
+    def test_empty_and_flat(self):
+        assert sparkline([]) == ""
+        assert sparkline([0.0, 0.0]) == "  "
+
+    def test_ramps_and_truncates(self):
+        s = sparkline(list(range(100)), width=8)
+        assert len(s) == 8
+        assert s[-1] == "@"  # the max lands on the top ramp char
+
+
+class TestRenderTop:
+    def test_empty(self):
+        assert "no health samples" in render_top([])
+
+    def test_dashboard_fields(self):
+        text = render_top(_health_rows())
+        assert "throughput" in text and "1,000 q/s" in text
+        assert "queue depth" in text
+        # live-node count comes from the extra probe when the field is 0
+        assert "live nodes" in text and "500" in text
+        assert "load deciles" in text and "p100=10" in text
+        assert "routed_total=3000" in text
+
+    def test_metrics_rows_rendered(self):
+        metrics = [
+            {"name": "scale_query_latency_seconds", "type": "histogram",
+             "p50": 0.1, "p90": 0.2, "p99": 0.3},
+            {"name": "scale_query_hops", "type": "histogram",
+             "p50": 4.0, "p99": 9.0},
+            {"name": "scale_queries_routed_total", "type": "counter",
+             "value": 4000.0},
+        ]
+        text = render_top(_health_rows(), metrics_rows=metrics)
+        assert "latency      p50=0.100s" in text
+        assert "hops         p50=4.0" in text
+        assert "routed" in text and "4,000" in text
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+def _get_error_code(url):
+    # HTTPError doubles as the (socket-backed) response; close it or the
+    # ResourceWarning trips filterwarnings=error at the next gc
+    try:
+        _get(url)
+    except urllib.error.HTTPError as err:
+        err.close()
+        return err.code
+    raise AssertionError(f"expected an HTTP error from {url}")
+
+
+class TestHTTPServer:
+    def test_routes(self):
+        rows = _health_rows()
+        with ObsHTTPServer(
+            metrics_fn=lambda: "m_total 1.0\n", health_fn=lambda: rows
+        ) as srv:
+            status, body = _get(srv.url + "/metrics")
+            assert status == 200 and body == "m_total 1.0\n"
+            _, body = _get(srv.url + "/health")
+            assert json.loads(body)["time"] == 3.0
+            _, body = _get(srv.url + "/health/series")
+            assert len(json.loads(body)) == 4
+            status, body = _get(srv.url + "/healthz")
+            assert body == "ok\n"
+            assert _get_error_code(srv.url + "/nope") == 404
+
+    def test_source_error_becomes_500(self):
+        def boom():
+            raise RuntimeError("source died")
+
+        with ObsHTTPServer(metrics_fn=boom) as srv:
+            assert _get_error_code(srv.url + "/metrics") == 500
+
+    def test_missing_sources_serve_empty(self):
+        with ObsHTTPServer() as srv:
+            assert _get(srv.url + "/metrics")[1] == ""
+            assert json.loads(_get(srv.url + "/health")[1]) == {}
+
+    def test_serve_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("demo_total", "demo").add(3.0)
+        with serve_registry(reg) as srv:
+            _, body = _get(srv.url + "/metrics")
+            assert "demo_total 3.0" in body
+
+    def test_serve_files_tails_live_writer(self, tmp_path):
+        metrics = tmp_path / "metrics.jsonl"
+        health = tmp_path / "health.jsonl"
+        write_jsonl(
+            [{"name": "x_total", "type": "counter", "help": "", "value": 1.0,
+              "labels": {}}],
+            metrics,
+        )
+        health.write_text(json.dumps({"time": 1.0}) + "\n")
+        with serve_files(metrics_path=metrics, health_path=health) as srv:
+            assert "x_total 1.0" in _get(srv.url + "/metrics")[1]
+            assert json.loads(_get(srv.url + "/health")[1])["time"] == 1.0
+            # append — the endpoint re-reads per request, so it tracks
+            with open(health, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps({"time": 2.0}) + "\n")
+            assert json.loads(_get(srv.url + "/health")[1])["time"] == 2.0

@@ -1,0 +1,84 @@
+"""Deterministic trace sampling: hash parity, rates, and replay stability."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs.sampling import TraceSampler, splitmix64, splitmix64_array
+
+
+class TestSplitMix64:
+    def test_scalar_matches_vectorised_bits(self):
+        rng = np.random.default_rng(0)
+        xs = rng.integers(0, 1 << 63, size=4096, dtype=np.uint64)
+        # exercise the wrap-around region too
+        xs[:8] = np.uint64(0xFFFFFFFFFFFFFFFF) - np.arange(8, dtype=np.uint64)
+        vec = splitmix64_array(xs)
+        scalar = np.array([splitmix64(int(x)) for x in xs], dtype=np.uint64)
+        np.testing.assert_array_equal(vec, scalar)
+
+    def test_avalanche(self):
+        # neighbouring inputs land far apart; no fixed point at zero
+        h0, h1 = splitmix64(0), splitmix64(1)
+        assert h0 != 0 and h0 != h1
+        assert bin(h0 ^ h1).count("1") > 16
+
+    def test_stays_in_64_bits(self):
+        assert 0 <= splitmix64((1 << 64) - 1) < (1 << 64)
+
+
+class TestTraceSampler:
+    def test_mask_matches_scalar_sample(self):
+        s = TraceSampler(every=64, salt=7)
+        qids = np.arange(10_000, dtype=np.uint64)
+        mask = s.mask(qids)
+        loop = np.array([s.sample(int(q)) for q in qids], dtype=bool)
+        np.testing.assert_array_equal(mask, loop)
+
+    def test_rate_approximates_one_in_every(self):
+        s = TraceSampler(every=64)
+        qids = np.arange(200_000, dtype=np.uint64)
+        kept = int(s.mask(qids).sum())
+        expect = len(qids) / 64
+        # binomial std ≈ 55 here; 5σ keeps this deterministic-in-practice
+        assert abs(kept - expect) < 5 * np.sqrt(expect)
+        assert s.rate == 1.0 / 64
+
+    def test_deterministic_across_instances(self):
+        qids = np.arange(5_000, dtype=np.uint64)
+        a = TraceSampler(every=128, salt=3).mask(qids)
+        b = TraceSampler(every=128, salt=3).mask(qids)
+        np.testing.assert_array_equal(a, b)
+
+    def test_disabled_and_keep_all(self):
+        qids = np.arange(100, dtype=np.uint64)
+        off = TraceSampler(every=0)
+        assert off.rate == 0.0
+        assert not off.sample(5)
+        assert not off.mask(qids).any()
+        allof = TraceSampler(every=1)
+        assert allof.rate == 1.0
+        assert allof.sample(5)
+        assert allof.mask(qids).all()
+
+    def test_salt_decorrelates(self):
+        qids = np.arange(100_000, dtype=np.uint64)
+        a = TraceSampler(every=32, salt=0).mask(qids)
+        b = TraceSampler(every=32, salt=12345).mask(qids)
+        # similar rates, different subsets
+        assert abs(int(a.sum()) - int(b.sum())) < 500
+        overlap = int((a & b).sum())
+        # independent 1/32 samplers overlap on ~1/1024 of qids, not ~1/32
+        assert overlap < int(a.sum()) / 4
+
+    def test_no_rng_consumed(self):
+        # the sampler is pure arithmetic: it must not perturb any RNG stream
+        rng = np.random.default_rng(9)
+        before = rng.bit_generator.state
+        s = TraceSampler(every=16)
+        s.mask(np.arange(1000, dtype=np.uint64))
+        s.sample(42)
+        assert rng.bit_generator.state == before
+
+    def test_repr(self):
+        assert "every=8" in repr(TraceSampler(every=8, salt=1))

@@ -1,0 +1,138 @@
+"""SLO declarations, burn-rate math, and the default scale catalogue."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.scale import ScaleConfig, ScaleSimulation
+from repro.obs.slo import (
+    DEFAULT_SCALE_SLOS,
+    SLO,
+    SloReport,
+    burn_rate,
+    evaluate_slo,
+    evaluate_slos,
+)
+from repro.sim.king import king_coordinate_model
+
+
+class TestBurnRate:
+    def test_ratio_of_bad_to_budget(self):
+        # 10% bad against a 5% budget burns at 2x
+        assert burn_rate(0.90, 0.95) == pytest.approx(2.0)
+        assert burn_rate(0.95, 0.95) == pytest.approx(1.0)
+        assert burn_rate(1.0, 0.95) == 0.0
+
+    def test_hard_floor_objective(self):
+        assert burn_rate(1.0, 1.0) == 0.0
+        assert math.isinf(burn_rate(0.999999, 1.0))
+
+
+class TestSLO:
+    def test_validates_op_and_objective(self):
+        with pytest.raises(ValueError, match="op"):
+            SLO("x", series="s", threshold=1.0, op="<")
+        with pytest.raises(ValueError, match="objective"):
+            SLO("x", series="s", threshold=1.0, objective=0.0)
+        with pytest.raises(ValueError, match="objective"):
+            SLO("x", series="s", threshold=1.0, objective=1.5)
+
+    def test_is_good_both_ops_and_nan(self):
+        le = SLO("le", series="s", threshold=2.0, op="<=")
+        ge = SLO("ge", series="s", threshold=2.0, op=">=")
+        assert le.is_good(2.0) and not le.is_good(2.1)
+        assert ge.is_good(2.0) and not ge.is_good(1.9)
+        assert not le.is_good(math.nan) and not ge.is_good(math.nan)
+
+
+class TestEvaluate:
+    def test_counts_and_worst(self):
+        slo = SLO("lat", series="s", threshold=1.0, op="<=", objective=0.5)
+        r = evaluate_slo(slo, [0.5, 0.9, 1.5, 2.0])
+        assert (r.total, r.good) == (4, 2)
+        assert r.worst == 2.0
+        assert r.burn == pytest.approx(1.0)
+        assert r.passed
+        assert r.good_fraction == 0.5
+
+    def test_ge_worst_is_minimum(self):
+        slo = SLO("recall", series="s", threshold=0.5, op=">=", objective=0.5)
+        assert evaluate_slo(slo, [0.9, 0.2, 0.7]).worst == 0.2
+
+    def test_empty_series_fails(self):
+        r = evaluate_slo(SLO("x", series="s", threshold=1.0), [])
+        assert not r.passed
+        assert math.isinf(r.burn)
+        assert r.good_fraction == 1.0  # vacuous, but passed is still False
+        assert r.to_dict()["burn_rate"] is None
+        assert r.to_dict()["worst"] is None
+
+    def test_hard_floor_single_bad_sample(self):
+        slo = SLO("floor", series="s", threshold=1.0)  # objective defaults 1.0
+        good = evaluate_slo(slo, [0.1] * 100)
+        bad = evaluate_slo(slo, [0.1] * 99 + [1.1])
+        assert good.passed and good.burn == 0.0
+        assert not bad.passed and math.isinf(bad.burn)
+
+    def test_missing_series_fails_catalogue(self):
+        slos = (SLO("a", series="present", threshold=1.0),
+                SLO("b", series="absent", threshold=1.0))
+        report = evaluate_slos(slos, {"present": [0.5]})
+        assert not report.ok
+        assert [r.slo.name for r in report.failed()] == ["b"]
+
+
+class TestReport:
+    def _report(self):
+        ok = SLO("ok_one", series="s", threshold=1.0, unit="s")
+        bad = SLO("bad_one", series="t", threshold=1.0, objective=0.9)
+        return evaluate_slos((ok, bad), {"s": [0.5], "t": [2.0, 2.0]})
+
+    def test_format_table(self):
+        text = self._report().format()
+        assert "ok_one" in text and "bad_one" in text
+        assert "PASS" in text and "FAIL" in text
+        assert "1/2 SLOs met — BUDGET BURNED" in text
+
+    def test_format_all_pass(self):
+        report = evaluate_slos(
+            (SLO("a", series="s", threshold=1.0),), {"s": [0.1]})
+        assert report.ok
+        assert report.format().endswith("1/1 SLOs met")
+
+    def test_to_dict(self):
+        d = self._report().to_dict()
+        assert d["ok"] is False
+        assert len(d["slos"]) == 2
+        assert d["slos"][0]["passed"] is True
+
+    def test_empty_report_ok(self):
+        assert SloReport().ok
+
+
+class TestDefaultCatalogue:
+    def test_passes_on_small_scale_run(self):
+        cfg = ScaleConfig(
+            n_nodes=800, n_objects=8_000, n_queries=4_000, chunk=800,
+            dim=6, n_landmarks=3, local_solve_sample=256,
+        )
+        sim = ScaleSimulation(
+            cfg, latency=king_coordinate_model(n_hosts=800, seed=1))
+        sim.run()
+        report = evaluate_slos(DEFAULT_SCALE_SLOS, sim.slo_series())
+        assert report.ok, report.format()
+        # every SLO in the catalogue found its series (no vacuous passes)
+        assert all(r.total > 0 for r in report.results)
+
+    def test_hop_deadline_storm_burns_drop_budget(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        cfg = ScaleConfig(
+            n_nodes=800, n_objects=1_600, n_queries=1_600, chunk=800,
+            dim=6, n_landmarks=3, local_solve_sample=64, hop_deadline=1,
+        )
+        sim = ScaleSimulation(cfg)
+        sim.run()
+        report = evaluate_slos(DEFAULT_SCALE_SLOS, sim.slo_series())
+        assert "drop_rate" in [r.slo.name for r in report.failed()]

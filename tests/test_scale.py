@@ -150,6 +150,25 @@ class TestScheduleBatch:
             sim.schedule_batch([(0.5, lambda: None, ())])
 
 
+class TestGaugeSetMany:
+    def test_bulk_matches_scalar(self):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        vals = np.random.default_rng(7).uniform(size=50)
+        g_a = reg_a.gauge("g", "x", ("pos",))
+        g_b = reg_b.gauge("g", "x", ("pos",))
+        labelsets = [(str(i),) for i in range(len(vals))]
+        for v, ls in zip(vals, labelsets):
+            g_a.set(float(v), ls)
+        g_b.set_many(vals.tolist(), labelsets)
+        assert g_a.samples() == g_b.samples()
+
+    def test_null_registry_noop(self):
+        from repro.obs.registry import NullRegistry
+
+        g = NullRegistry().gauge("g", "x", ("pos",))
+        g.set_many([1.0], [("0",)])  # must not raise
+
+
 class TestHistogramObserveMany:
     def test_matches_loop(self):
         reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
@@ -173,6 +192,32 @@ class TestHistogramObserveMany:
             h_a.observe(float(v))
         h_b.observe_many(vals)
         assert h_a.values[()].sample == h_b.values[()].sample
+
+    @pytest.mark.parametrize("reservoir", [0, 64])
+    def test_percentile_parity(self, reservoir):
+        # batch and scalar paths must agree at every reported percentile,
+        # on both the fixed-bucket estimator and the deterministic reservoir
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        vals = np.random.default_rng(8).exponential(0.2, size=500)
+        kw = {"reservoir": reservoir} if reservoir else {}
+        h_a = reg_a.histogram("p", buckets=(0.05, 0.1, 0.2, 0.5, 1.0), **kw)
+        h_b = reg_b.histogram("p", buckets=(0.05, 0.1, 0.2, 0.5, 1.0), **kw)
+        for v in vals:
+            h_a.observe(float(v))
+        h_b.observe_many(vals)
+        for q in (0.5, 0.9, 0.99):
+            assert h_a.percentile(q) == h_b.percentile(q)
+
+    def test_labeled_batch_matches_loop(self):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        vals = np.random.default_rng(9).uniform(size=100)
+        h_a = reg_a.histogram("l", buckets=(0.5,), labelnames=("shard",))
+        h_b = reg_b.histogram("l", buckets=(0.5,), labelnames=("shard",))
+        for v in vals:
+            h_a.observe(float(v), ("a",))
+        h_b.observe_many(vals, ("a",))
+        assert h_a.percentile(0.9, ("a",)) == h_b.percentile(0.9, ("a",))
+        assert h_a.values[("a",)].counts == h_b.values[("a",)].counts
 
 
 class TestScaleSimulation:
@@ -216,3 +261,115 @@ class TestScaleSimulation:
         assert rc == 0
         assert "scale-smoke] OK" in out
         assert "forwarding visits" in out
+
+
+def _small_cfg(**kw):
+    base = dict(n_nodes=300, n_objects=600, n_queries=900, chunk=300,
+                dim=4, n_landmarks=3, local_solve_sample=64)
+    base.update(kw)
+    return ScaleConfig(**base)
+
+
+class TestScaleObservability:
+    def test_counters_on_clean_run(self):
+        reg = MetricsRegistry()
+        sim = ScaleSimulation(_small_cfg(), registry=reg)
+        rep = sim.run()
+        assert rep.counters["routed"] == 900.0
+        assert rep.counters["dropped"] == 0.0
+        assert rep.counters["solved"] == 900.0
+        assert rep.counters["trace_samples"] == float(rep.sampled_spans)
+        assert rep.dropped == 0
+        assert reg.get("scale_queries_routed_total").total() == 900.0
+
+    def test_sampled_spans_deterministic_and_nonperturbing(self):
+        from repro.obs import MemorySpanSink, SpanRecorder
+
+        cfg = _small_cfg(trace_sample_every=16)
+        plain = ScaleSimulation(cfg).run()
+        sink = MemorySpanSink()
+        traced_sim = ScaleSimulation(cfg, recorder=SpanRecorder(sink))
+        traced = traced_sim.run()
+        # sampling is a qid hash: same subset every run, and attaching a
+        # recorder must not perturb the routing outcome
+        assert plain.sampled_spans == traced.sampled_spans > 0
+        assert plain.mean_hops == traced.mean_hops
+        assert plain.storage_load["gini"] == traced.storage_load["gini"]
+        # root span + one route event per sampled query
+        roots = [s for s in sink.records if s.parent is None]
+        assert len(roots) == traced.sampled_spans
+        untr = ScaleSimulation(_small_cfg(trace_sample_every=0)).run()
+        assert untr.sampled_spans == 0
+        assert untr.mean_hops == plain.mean_hops
+
+    def test_flight_records_chunk_history(self):
+        sim = ScaleSimulation(_small_cfg())
+        sim.run()
+        kinds = [e["kind"] for e in sim.flight.events()]
+        assert kinds.count("chunk") == 3  # 900 queries / 300 chunk
+        assert sim.flight.context["config"]["n_nodes"] == 300
+        assert not sim.flight.dumps  # clean run dumps nothing
+
+    def test_deadline_storm_dumps_bundle(self, tmp_path, monkeypatch):
+        from repro.obs.flight import load_bundle
+
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        sim = ScaleSimulation(_small_cfg(hop_deadline=1))
+        rep = sim.run()
+        assert rep.dropped > 0
+        assert len(sim.flight.dumps) == 1  # one bundle per run, not per chunk
+        bundle = load_bundle(sim.flight.dumps[0])
+        assert bundle["reason"] == "deadline-storm"
+        assert bundle["context"]["config"]["hop_deadline"] == 1
+        assert any(e["kind"] == "deadline-storm" for e in bundle["events"])
+
+    def test_invariant_violation_dumps_bundle(self, tmp_path, monkeypatch):
+        from repro.obs.flight import load_bundle
+
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        sim = ScaleSimulation(_small_cfg())
+        sim.store.offsets[-1] += 1  # corrupt the store
+        with pytest.raises(AssertionError):
+            sim.check_invariants()
+        assert len(sim.flight.dumps) == 1
+        assert load_bundle(sim.flight.dumps[0])["reason"] == "invariant-violation"
+
+    def test_health_cadence_matches_chunking(self):
+        sim = ScaleSimulation(_small_cfg())
+        rep = sim.run()
+        # one virtual second per chunk, one sample per second
+        assert rep.health_samples == len(sim.chunk_stats) == 3
+        series = sim.slo_series()
+        assert series["health_cadence_ratio"] == [1.0]
+        assert len(series["chunk_hops_p99"]) == 3
+
+    def test_health_deciles_reconcile_with_forwarding(self):
+        sim = ScaleSimulation(_small_cfg())
+        sim.run()
+        last = sim.sampler.samples[-1]
+        want = np.percentile(
+            sim.forward_visits.astype(float), list(range(0, 101, 10)))
+        np.testing.assert_allclose(last.load_deciles, want)
+        assert last.extra["routed_total"] == 900.0
+        assert last.extra["live_nodes"] == 300.0
+
+    def test_health_jsonl_streams(self, tmp_path):
+        from repro.obs.ops import read_health_jsonl
+
+        path = tmp_path / "health.jsonl"
+        sim = ScaleSimulation(_small_cfg(), health_jsonl=path)
+        rep = sim.run()
+        sim.sampler.close()
+        rows = read_health_jsonl(path)
+        assert len(rows) == rep.health_samples
+        assert rows[-1]["extra"]["routed_total"] == 900.0
+
+    def test_load_gauges_skipped_beyond_cap(self):
+        from repro.core.scale import _LOAD_GAUGE_MAX_NODES, STORED_LOAD_GAUGE
+
+        reg = MetricsRegistry()
+        sim = ScaleSimulation(_small_cfg(), registry=reg)
+        sim.run()
+        assert sim.cfg.n_nodes <= _LOAD_GAUGE_MAX_NODES
+        gauge = reg.get(STORED_LOAD_GAUGE)
+        assert gauge is not None and len(gauge.samples()) == 300
