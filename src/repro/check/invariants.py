@@ -37,6 +37,7 @@ __all__ = [
     "InvariantViolation",
     "PartitionChecker",
     "InvariantChecker",
+    "check_live_cluster",
 ]
 
 
@@ -84,6 +85,78 @@ class _Reporter:
     @property
     def ok(self) -> bool:
         return not self.violations
+
+
+def check_live_cluster(
+    statuses: list[dict[str, Any]],
+    m: int,
+    strict: bool = True,
+    expected_entries: int | None = None,
+    flight=None,
+) -> _Reporter:
+    """Ring + conservation checks over live-node ``status`` RPC replies.
+
+    The live backend (:mod:`repro.net`) has no shared-memory oracle, so the
+    structural promises are asserted over the data every node reports about
+    itself: sorted by id, each node's first successor and its predecessor
+    must be its ring neighbours, the ownership intervals must tile the
+    ``2**m`` identifier space exactly, and (when ``expected_entries`` is
+    given) the shards together must hold every inserted entry exactly once.
+
+    Same strict-or-collect semantics as the simulator checkers; returns the
+    reporter so callers can inspect ``checks`` / ``violations``.
+    """
+    rep = _Reporter(strict, flight=flight)
+    if not statuses:
+        rep._fail("ring.empty", "no live members")
+        return rep
+    by_id = {int(s["id"]): s for s in statuses}
+    if len(by_id) != len(statuses):
+        rep._fail("ring.membership", "duplicate node ids in status set")
+        return rep
+    ids = sorted(by_id)
+    n = len(ids)
+    for pos, nid in enumerate(ids):
+        s = by_id[nid]
+        if n == 1:
+            break
+        succ = s["successors"][0] if s["successors"] else None
+        expected_succ = ids[(pos + 1) % n]
+        if succ is None or int(succ["id"]) != expected_succ:
+            got = "None" if succ is None else hex(int(succ["id"]))
+            rep._fail(
+                "ring.successor",
+                f"node {nid:#x}: successor {got} != oracle {expected_succ:#x}",
+            )
+            return rep
+        pred = s["predecessor"]
+        expected_pred = ids[(pos - 1) % n]
+        if pred is None or int(pred["id"]) != expected_pred:
+            got = "None" if pred is None else hex(int(pred["id"]))
+            rep._fail(
+                "ring.predecessor",
+                f"node {nid:#x}: predecessor {got} != oracle {expected_pred:#x}",
+            )
+            return rep
+    if n > 1:
+        total = sum((b - a) % (1 << m) for a, b in zip(ids, ids[1:] + ids[:1]))
+        if total != (1 << m):
+            rep._fail(
+                "ring.intervals",
+                f"ownership intervals cover {total} keys, expected {1 << m}",
+            )
+            return rep
+    rep._passed("ring")
+    if expected_entries is not None:
+        held = sum(int(s["entries"]) for s in statuses)
+        if held != expected_entries:
+            rep._fail(
+                "ownership.conservation",
+                f"shards hold {held} entries, {expected_entries} were inserted",
+            )
+            return rep
+        rep._passed("ownership")
+    return rep
 
 
 class PartitionChecker(_Reporter):

@@ -21,6 +21,9 @@ Usage::
     python -m repro slo [--nodes N] [--queries N] [--json]
     python -m repro serve --metrics DIR/metrics.jsonl --health DIR/health.jsonl
     python -m repro flight BUNDLE.json [--rerun]
+    python -m repro node --name node-0 --data-dir ./data/node-0 [--port P]
+                          [--bootstrap IP:PORT]
+    python -m repro cluster [--nodes N] [--entries N] [--queries N] [--json]
 
 The figure commands print the same tables the benchmark suite saves under
 ``benchmarks/results/``; ``--scale paper`` runs the authors' full parameters
@@ -232,6 +235,45 @@ def build_parser() -> argparse.ArgumentParser:
     flt.add_argument("--rerun", action="store_true",
                      help="re-execute the embedded ScaleConfig deterministically "
                           "and re-check invariants")
+
+    node = sub.add_parser(
+        "node",
+        help="run one live DHT node (asyncio TCP backend) until Ctrl-C; "
+             "state persists under --data-dir and survives SIGKILL",
+    )
+    node.add_argument("--name", required=True, help="node name (hashed to its ring id)")
+    node.add_argument("--data-dir", required=True, help="WAL/snapshot/meta directory")
+    node.add_argument("--bind", default="127.0.0.1")
+    node.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    node.add_argument("--bootstrap", default=None,
+                      help="ip:port of any ring member (omit to seed a new ring)")
+    node.add_argument("--m", type=int, default=32, help="ring bits")
+    node.add_argument("--k", type=int, default=2, help="index-space dimensions")
+    node.add_argument("--bounds-low", type=float, default=0.0)
+    node.add_argument("--bounds-high", type=float, default=1000.0)
+    node.add_argument("--index-name", default="index")
+    node.add_argument("--stabilize-interval", type=float, default=0.25)
+    node.add_argument("--fmt", choices=("json", "msgpack"), default="json")
+    node.add_argument("--fsync", action="store_true",
+                      help="fsync every WAL append (power-loss durability; "
+                           "SIGKILL durability needs only the default flush)")
+    node.add_argument("--seed", type=int, default=0)
+
+    clus = sub.add_parser(
+        "cluster",
+        help="live-cluster demo: boot N TCP nodes, insert + range-query a "
+             "workload, kill one node, rejoin it, verify bit-identical "
+             "recovery and recall parity",
+    )
+    clus.add_argument("--nodes", type=int, default=8)
+    clus.add_argument("--entries", type=int, default=512)
+    clus.add_argument("--queries", type=int, default=16)
+    clus.add_argument("--m", type=int, default=32)
+    clus.add_argument("--k", type=int, default=2)
+    clus.add_argument("--seed", type=int, default=0)
+    clus.add_argument("--data-root", default=None,
+                      help="persistence root (default: a temp dir)")
+    clus.add_argument("--json", action="store_true", help="machine-readable report")
 
     demo = sub.add_parser(
         "obs-demo",
@@ -715,6 +757,90 @@ def _run_flight(args) -> int:
     return 0
 
 
+def _run_node(args) -> int:
+    import asyncio
+
+    from repro.net.node import NodeConfig, NodeProcess
+
+    async def serve() -> int:
+        config = NodeConfig(
+            name=args.name,
+            data_dir=args.data_dir,
+            m=args.m,
+            k=args.k,
+            bounds_low=args.bounds_low,
+            bounds_high=args.bounds_high,
+            index_name=args.index_name,
+            bind=args.bind,
+            port=args.port,
+            bootstrap=args.bootstrap,
+            stabilize_interval=args.stabilize_interval,
+            fmt=args.fmt,
+            seed=args.seed,
+            fsync=args.fsync,
+        )
+        node = NodeProcess(config)
+        addr = await node.start()
+        print(f"[node {args.name}] id={node.id:#x} listening on {addr} "
+              f"(data: {args.data_dir})", flush=True)
+        try:
+            while True:
+                await asyncio.sleep(3600.0)
+        except asyncio.CancelledError:  # pragma: no cover - loop teardown
+            raise
+        finally:
+            await node.close()
+
+    try:
+        return asyncio.run(serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
+
+
+def _run_cluster(args) -> int:
+    import asyncio
+    import json
+
+    from repro.eval.report import format_dict
+    from repro.net.cluster import run_cluster_demo
+
+    report = asyncio.run(run_cluster_demo(
+        n_nodes=args.nodes,
+        n_entries=args.entries,
+        n_queries=args.queries,
+        m=args.m,
+        k=args.k,
+        seed=args.seed,
+        data_root=args.data_root,
+    ))
+    payload = {
+        "nodes": report.n_nodes,
+        "entries": report.n_entries,
+        "queries": report.n_queries,
+        "recall_before_kill": report.recall_before,
+        "recall_after_rejoin": report.recall_after,
+        "killed_node": report.killed_node,
+        "shard_digest_match": report.digest_before == report.digest_after,
+        "converged_after_kill": report.converged_after_kill,
+        "converged_after_rejoin": report.converged_after_rejoin,
+        "ok": report.ok,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_dict(
+            {k: (float(v) if isinstance(v, (int, float)) and not isinstance(v, bool)
+                 else v)
+             for k, v in payload.items() if k != "killed_node"},
+            title="[live cluster demo]",
+        ))
+        print(f"\nkilled and rejoined: {report.killed_node}")
+        for note in report.notes:
+            print(f"note: {note}")
+        print("OK" if report.ok else "FAILED")
+    return 0 if report.ok else 1
+
+
 def _run_obs_demo(args) -> None:
     from repro.eval.report import format_dict
     from repro.eval.demo import run_demo
@@ -804,6 +930,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_flight(args)
     elif args.command == "obs-demo":
         _run_obs_demo(args)
+    elif args.command == "node":
+        return _run_node(args)
+    elif args.command == "cluster":
+        return _run_cluster(args)
     return 0
 
 

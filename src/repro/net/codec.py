@@ -1,0 +1,314 @@
+"""Wire codec: length-prefixed framing + versioned message encoding.
+
+Two layers, both independent of asyncio so they are unit-testable byte by
+byte (the Hypothesis round-trip suite splits encoded streams at arbitrary
+chunk boundaries):
+
+**Value codec** — :func:`encode_value` / :func:`decode_value` translate
+between Python objects and a JSON-safe tree.  Beyond the JSON scalars it
+carries, bit-exactly:
+
+* ``bytes`` — base64, tagged ``{"__bytes__": ...}``;
+* NumPy arrays and scalars — raw-buffer base64 via
+  :mod:`repro.util.arrays` (the same encoding the WAL uses on disk);
+* the routing value types ``Rect``, ``RangeQuery`` and ``ResultEntry`` —
+  tagged ``{"__obj__": name, ...}``;
+* every ``@register_message`` dataclass — tagged
+  ``{"__msg__": name, "__v__": WIRE_VERSION, <fields>}`` where the field
+  set is **derived from and validated against the registered trace schema**
+  (:func:`repro.sim.messages.message_schema`).  A decoder refuses a message
+  whose version or field set disagrees with its schema, so a stale peer
+  fails loudly instead of mis-parsing.
+
+**Framing** — :class:`Framer` produces ``[u32 length][u8 format][body]``
+frames (big-endian length of format byte + body) and :class:`FrameDecoder`
+incrementally reassembles them from arbitrary chunk boundaries, with a
+maximum-frame guard against corrupt or hostile length prefixes.  The body is
+the serialised value tree: JSON (always available) or msgpack (when the
+optional ``msgpack`` package is installed; negotiated per frame by the
+format byte, so mixed-format peers interoperate).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.core.query import RangeQuery, Rect
+from repro.sim.messages import QueryMessage, ResultEntry, ResultMessage, message_schema
+from repro.util.arrays import decode_array, encode_array, is_encoded_array
+
+try:  # optional accelerator; JSON is the always-available baseline
+    import msgpack  # type: ignore[import-not-found]
+
+    _HAVE_MSGPACK = True
+except ImportError:  # pragma: no cover - exercised on hosts without msgpack
+    msgpack = None
+    _HAVE_MSGPACK = False
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_FRAME_BYTES",
+    "CodecError",
+    "available_formats",
+    "encode_value",
+    "decode_value",
+    "Framer",
+    "FrameDecoder",
+]
+
+#: version stamped into every encoded registered message; decoders reject
+#: mismatches (bump on any schema-breaking change)
+WIRE_VERSION = 1
+
+#: refuse frames longer than this (corrupt length prefix / resource abuse)
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: format byte -> name
+_FMT_JSON = 0x4A  # "J"
+_FMT_MSGPACK = 0x4D  # "M"
+_FORMATS = {"json": _FMT_JSON, "msgpack": _FMT_MSGPACK}
+
+#: registered message dataclasses constructible from the wire.  Keys must be
+#: registered in the ``register_message`` schema; the codec cross-checks at
+#: encode/decode time.
+_MESSAGE_CLASSES: dict[str, type] = {
+    "QueryMessage": QueryMessage,
+    "ResultMessage": ResultMessage,
+}
+
+#: plain tagged value types (not part of the message schema)
+_OBJ_TAG = "__obj__"
+_MSG_TAG = "__msg__"
+_VER_TAG = "__v__"
+_BYTES_TAG = "__bytes__"
+_SCALAR_TAG = "__npscalar__"
+
+#: dict keys user payloads may not use (they would be mistaken for tags)
+_RESERVED_KEYS = frozenset({_OBJ_TAG, _MSG_TAG, _BYTES_TAG, _SCALAR_TAG, "__nd__"})
+
+
+class CodecError(ValueError):
+    """Malformed frame, unknown tag, or schema/version mismatch."""
+
+
+def available_formats() -> tuple[str, ...]:
+    """Wire formats usable in this environment (JSON always; msgpack if
+    the optional dependency is installed)."""
+    return ("json", "msgpack") if _HAVE_MSGPACK else ("json",)
+
+
+# -- value codec ----------------------------------------------------------------
+
+
+def encode_value(obj: Any) -> Any:
+    """Translate ``obj`` into a JSON-safe tree (see module docstring)."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, bytes):
+        return {_BYTES_TAG: base64.b64encode(obj).decode("ascii")}
+    if isinstance(obj, np.ndarray):
+        return encode_array(obj)
+    if isinstance(obj, np.generic):
+        return {_SCALAR_TAG: None, "v": encode_array(np.asarray(obj))}
+    if isinstance(obj, (list, tuple)):
+        return [encode_value(v) for v in obj]
+    if isinstance(obj, dict):
+        out: dict[str, Any] = {}
+        for key, val in obj.items():
+            if not isinstance(key, str):
+                raise CodecError(f"non-string dict key {key!r} cannot cross the wire")
+            if key in _RESERVED_KEYS:
+                raise CodecError(f"dict key {key!r} collides with a codec tag")
+            out[key] = encode_value(val)
+        return out
+    if isinstance(obj, ResultEntry):
+        return {_OBJ_TAG: "ResultEntry",
+                "object_id": int(obj.object_id), "distance": float(obj.distance)}
+    if isinstance(obj, Rect):
+        return {_OBJ_TAG: "Rect",
+                "lows": encode_array(obj.lows), "highs": encode_array(obj.highs)}
+    if isinstance(obj, RangeQuery):
+        return {
+            _OBJ_TAG: "RangeQuery",
+            "rect": encode_value(obj.rect),
+            "prefix_key": int(obj.prefix_key),
+            "prefix_len": int(obj.prefix_len),
+            "qid": int(obj.qid),
+            "source": encode_value(obj.source),
+            "index_name": obj.index_name,
+            "payload": encode_value(obj.payload),
+            "radius": None if obj.radius is None else float(obj.radius),
+        }
+    name = type(obj).__name__
+    schema = message_schema().get(name)
+    if schema is not None:
+        cls = _MESSAGE_CLASSES.get(name)
+        if cls is None or not isinstance(obj, cls):
+            raise CodecError(f"registered message {name} has no wire constructor")
+        encoded: dict[str, Any] = {_MSG_TAG: name, _VER_TAG: WIRE_VERSION}
+        for field in schema:
+            encoded[field] = encode_value(getattr(obj, field))
+        return encoded
+    raise CodecError(f"{type(obj).__name__} is not wire-encodable")
+
+
+def decode_value(obj: Any) -> Any:
+    """Inverse of :func:`encode_value`, validating tags, schema and version."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, list):
+        return [decode_value(v) for v in obj]
+    if not isinstance(obj, dict):
+        raise CodecError(f"undecodable wire value of type {type(obj).__name__}")
+    if _BYTES_TAG in obj:
+        try:
+            return base64.b64decode(obj[_BYTES_TAG])
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"malformed bytes payload: {exc}") from exc
+    if is_encoded_array(obj):
+        try:
+            return decode_array(obj)
+        except ValueError as exc:
+            raise CodecError(str(exc)) from exc
+    if _SCALAR_TAG in obj:
+        arr = decode_value(obj["v"])
+        return arr[()]
+    if _OBJ_TAG in obj:
+        return _decode_obj(obj)
+    if _MSG_TAG in obj:
+        return _decode_message(obj)
+    return {k: decode_value(v) for k, v in obj.items()}
+
+
+def _decode_obj(obj: dict[str, Any]) -> Any:
+    kind = obj[_OBJ_TAG]
+    try:
+        if kind == "ResultEntry":
+            return ResultEntry(object_id=int(obj["object_id"]),
+                               distance=float(obj["distance"]))
+        if kind == "Rect":
+            return Rect(decode_value(obj["lows"]), decode_value(obj["highs"]))
+        if kind == "RangeQuery":
+            return RangeQuery(
+                rect=decode_value(obj["rect"]),
+                prefix_key=int(obj["prefix_key"]),
+                prefix_len=int(obj["prefix_len"]),
+                qid=int(obj["qid"]),
+                source=decode_value(obj["source"]),
+                index_name=obj["index_name"],
+                payload=decode_value(obj["payload"]),
+                radius=None if obj["radius"] is None else float(obj["radius"]),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CodecError(f"malformed {kind} payload: {exc}") from exc
+    raise CodecError(f"unknown tagged object {kind!r}")
+
+
+def _decode_message(obj: dict[str, Any]) -> Any:
+    name = obj[_MSG_TAG]
+    schema = message_schema().get(name)
+    if schema is None:
+        raise CodecError(f"{name!r} is not a registered message type")
+    version = obj.get(_VER_TAG)
+    if version != WIRE_VERSION:
+        raise CodecError(
+            f"{name}: wire version {version!r} != supported {WIRE_VERSION}"
+        )
+    got = set(obj) - {_MSG_TAG, _VER_TAG}
+    want = set(schema)
+    if got != want:
+        missing, extra = sorted(want - got), sorted(got - want)
+        raise CodecError(
+            f"{name}: field set disagrees with the registered schema "
+            f"(missing {missing}, unexpected {extra})"
+        )
+    cls = _MESSAGE_CLASSES.get(name)
+    if cls is None:
+        raise CodecError(f"registered message {name} has no wire constructor")
+    fields = {field: decode_value(obj[field]) for field in schema}
+    try:
+        return cls(**fields)
+    except TypeError as exc:
+        raise CodecError(f"{name}: {exc}") from exc
+
+
+# -- framing --------------------------------------------------------------------
+
+
+class Framer:
+    """Serialises values into ``[u32 length][u8 format][body]`` frames."""
+
+    def __init__(self, fmt: str = "json") -> None:
+        if fmt not in _FORMATS:
+            raise CodecError(f"unknown wire format {fmt!r}")
+        if fmt == "msgpack" and not _HAVE_MSGPACK:
+            raise CodecError("msgpack format requested but msgpack is not installed")
+        self.fmt = fmt
+        self._fmt_byte = _FORMATS[fmt]
+
+    def encode(self, obj: Any) -> bytes:
+        tree = encode_value(obj)
+        if self.fmt == "msgpack":
+            body = msgpack.packb(tree, use_bin_type=True)
+        else:
+            body = json.dumps(tree, separators=(",", ":")).encode("utf-8")
+        length = len(body) + 1
+        if length > MAX_FRAME_BYTES:
+            raise CodecError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+        return length.to_bytes(4, "big") + bytes((self._fmt_byte,)) + body
+
+
+class FrameDecoder:
+    """Incremental frame reassembly from arbitrary chunk boundaries.
+
+    Feed any byte slicing of a frame stream; complete frames come back
+    decoded, partial ones wait in the buffer.  Raises :class:`CodecError`
+    on oversized or undecodable frames (the connection should be dropped —
+    framing is unrecoverable once misaligned).
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[Any]:
+        self._buf.extend(data)
+        out: list[Any] = []
+        while True:
+            if len(self._buf) < 4:
+                return out
+            length = int.from_bytes(self._buf[:4], "big")
+            if length < 1 or length > MAX_FRAME_BYTES:
+                raise CodecError(f"invalid frame length {length}")
+            if len(self._buf) < 4 + length:
+                return out
+            fmt_byte = self._buf[4]
+            body = bytes(self._buf[5 : 4 + length])
+            del self._buf[: 4 + length]
+            out.append(self._decode_body(fmt_byte, body))
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of a frame."""
+        return len(self._buf)
+
+    @staticmethod
+    def _decode_body(fmt_byte: int, body: bytes) -> Any:
+        if fmt_byte == _FMT_JSON:
+            try:
+                tree = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise CodecError(f"undecodable JSON frame: {exc}") from exc
+        elif fmt_byte == _FMT_MSGPACK:
+            if not _HAVE_MSGPACK:
+                raise CodecError("received a msgpack frame but msgpack is not installed")
+            try:
+                tree = msgpack.unpackb(body, raw=False)
+            except Exception as exc:
+                raise CodecError(f"undecodable msgpack frame: {exc}") from exc
+        else:
+            raise CodecError(f"unknown frame format byte {fmt_byte:#x}")
+        return decode_value(tree)

@@ -1,0 +1,631 @@
+"""Asyncio TCP transport: the sim transport's contract on real sockets.
+
+The simulator's :class:`repro.sim.transport.Transport` and this class obey
+the same observable contract, asserted by the backend-agnostic conformance
+suite (``tests/test_transport_conformance.py``):
+
+* **per-peer in-order delivery** — one framed TCP connection per destination
+  with a single writer coroutine, so messages to one peer arrive in send
+  order (TCP then preserves it);
+* **cancelable timers** — :meth:`timer_cancelable` / :meth:`at_cancelable`
+  return a :class:`NetTimerHandle` with the ``active``/``cancel()``
+  semantics of the engine's ``EventHandle``, driven by the event loop on the
+  process-wide monotonic clock (:attr:`now`);
+* **fault injection** — the same :class:`~repro.sim.transport.FaultConfig`:
+  probabilistic loss and host-set partitions are applied at send time from a
+  seeded generator (drops are *local* — the bytes never reach the socket —
+  so a partitioned live cluster behaves like a partitioned simulated one);
+* **tracing and accounting** — :class:`~repro.sim.transport.MessageTrace`
+  records into any :class:`~repro.sim.transport.TraceSink`; drops are
+  recorded by the sender, deliveries by the receiver (the only party that
+  can observe them over a real network); byte counters reuse
+  :class:`~repro.sim.transport.TransportStats` with the same traffic-class
+  split.
+
+On top of the one-way contract it adds what live deployments need:
+request/response RPC (responses ride the requesting connection, so pure
+clients need no listener) and a per-peer connection pool with exponential
+reconnect backoff.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from collections import deque
+from collections.abc import Awaitable, Callable
+from typing import Any
+
+from repro.net.codec import CodecError, FrameDecoder, Framer
+from repro.sim.transport import (
+    DROPPED_DEAD,
+    DROPPED_LOSS,
+    DROPPED_PARTITION,
+    FaultConfig,
+    MessageTrace,
+    TraceSink,
+    TransportStats,
+    traffic_class,
+)
+
+__all__ = ["NetTimerHandle", "RpcError", "RpcTimeout", "TcpTransport"]
+
+#: one clock origin per process so every transport's ``now`` is comparable
+#: (delivery latency = receiver.now - trace.sent_at within one host)
+_PROCESS_T0 = time.monotonic()
+
+
+def _now() -> float:
+    return time.monotonic() - _PROCESS_T0
+
+
+class RpcError(ConnectionError):
+    """The peer could not be reached or answered with a malformed frame."""
+
+
+class RpcTimeout(RpcError):
+    """No response within the deadline (peer dead, partitioned, or lossy)."""
+
+
+class NetTimerHandle:
+    """Cancelable timer with the engine ``EventHandle`` semantics.
+
+    ``active`` is True until the callback fires or :meth:`cancel` is called;
+    cancellation is idempotent and cancel-after-fire is a no-op.
+    """
+
+    __slots__ = ("_handle", "_cell")
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, delay: float,
+                 fn: Callable[..., Any], args: tuple[Any, ...]) -> None:
+        cell = [True]
+        self._cell = cell
+
+        def fire() -> None:
+            cell[0] = False
+            fn(*args)
+
+        self._handle = loop.call_later(max(0.0, delay), fire)
+
+    @property
+    def active(self) -> bool:
+        return self._cell[0]
+
+    def cancel(self) -> None:
+        if not self._cell[0]:
+            return
+        self._cell[0] = False
+        self._handle.cancel()
+
+
+class _PeerConnection:
+    """One outgoing framed connection: FIFO queue, writer task, reconnect.
+
+    The queue preserves send order across reconnects: a message is popped
+    only after it was written and drained, so a connection dropped mid-queue
+    resumes with the oldest unsent message.  After ``max_attempts``
+    consecutive connection failures the queued messages are dropped as
+    ``dropped:dead`` (the live analogue of the simulator's crashed-node
+    drop) and the backoff resets for future sends.
+    """
+
+    def __init__(self, owner: TcpTransport, addr: str) -> None:
+        self.owner = owner
+        self.addr = addr
+        self.queue: deque[tuple[bytes, MessageTrace | None, Any]] = deque()
+        self.wake = asyncio.Event()
+        self.task: asyncio.Task[None] | None = None
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.reader_task: asyncio.Task[None] | None = None
+        self.closed = False
+
+    def enqueue(self, frame: bytes, rec: MessageTrace | None, on_drop: Any) -> None:
+        self.queue.append((frame, rec, on_drop))
+        self.wake.set()
+        if self.task is None or self.task.done():
+            # the owner's loop, not get_running_loop(): sync callers (tests,
+            # protocol code outside a coroutine) enqueue between loop runs
+            self.task = self.owner._require_loop().create_task(self._run())
+
+    async def _connect(self) -> bool:
+        host, _, port = self.addr.rpartition(":")
+        attempts = 0
+        delay = self.owner.reconnect_base
+        while not self.closed:
+            try:
+                self.reader, self.writer = await asyncio.open_connection(host, int(port))
+                if self.reader_task is not None:
+                    self.reader_task.cancel()
+                self.reader_task = self.owner._require_loop().create_task(
+                    self.owner._read_responses(self.reader))
+                return True
+            except OSError:
+                attempts += 1
+                if attempts >= self.owner.max_connect_attempts:
+                    return False
+                # seeded jitter keeps concurrent reconnects from thundering
+                await asyncio.sleep(delay * (1.0 + self.owner._backoff_rng.random()))
+                delay = min(delay * 2.0, self.owner.reconnect_max)
+        return False
+
+    async def _run(self) -> None:
+        while not self.closed:
+            if not self.queue:
+                self.wake.clear()
+                await self.wake.wait()
+                continue
+            if self.writer is None or self.writer.is_closing():
+                if not await self._connect():
+                    self._drop_queued()
+                    continue
+            frame, rec, on_drop = self.queue[0]
+            try:
+                assert self.writer is not None
+                self.writer.write(frame)
+                await self.writer.drain()
+            except OSError:
+                self._teardown_socket()
+                continue  # retry the same message on a fresh connection
+            self.queue.popleft()
+
+    def _drop_queued(self) -> None:
+        while self.queue:
+            _, rec, on_drop = self.queue.popleft()
+            if rec is not None:
+                self.owner._drop(rec, DROPPED_DEAD, on_drop)
+
+    def _teardown_socket(self) -> None:
+        if self.reader_task is not None:
+            self.reader_task.cancel()
+            self.reader_task = None
+        if self.writer is not None:
+            self.writer.close()
+            self.writer = None
+        self.reader = None
+
+    async def close(self) -> None:
+        self.closed = True
+        self.wake.set()
+        if self.task is not None:
+            self.task.cancel()
+        if self.reader_task is not None:
+            self.reader_task.cancel()
+            self.reader_task = None
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+            self.writer = None
+        self.reader = None
+
+    @property
+    def idle(self) -> bool:
+        return not self.queue
+
+
+class TcpTransport:
+    """Live message transport over asyncio TCP (see module docstring).
+
+    Parameters mirror the sim transport where the concept transfers:
+    ``faults``/``trace``/``metrics`` behave identically; ``node_id`` and
+    ``host`` identify this endpoint in traces and partition checks; ``fmt``
+    picks the frame body serialisation (``"json"`` or ``"msgpack"``).
+    """
+
+    def __init__(
+        self,
+        node_id: int = 0,
+        host: int = 0,
+        faults: FaultConfig | None = None,
+        trace: TraceSink | None = None,
+        metrics: Any = None,
+        fmt: str = "json",
+        seed: int = 0,
+        reconnect_base: float = 0.05,
+        reconnect_max: float = 2.0,
+        max_connect_attempts: int = 8,
+        rpc_timeout: float = 2.0,
+    ) -> None:
+        self.node_id = int(node_id)
+        self.host = int(host)
+        self.faults = faults if faults is not None else FaultConfig()
+        self.trace = trace
+        self.stats = TransportStats()
+        self.framer = Framer(fmt)
+        self.reconnect_base = reconnect_base
+        self.reconnect_max = reconnect_max
+        self.max_connect_attempts = max_connect_attempts
+        self.rpc_timeout = rpc_timeout
+        self.addr = ""
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._pool: dict[str, _PeerConnection] = {}
+        self._peer_hosts: dict[str, int] = {}
+        self._handlers: dict[str, Callable[[Any, dict[str, Any]], None]] = {}
+        self._rpc_handlers: dict[str, Callable[[Any, dict[str, Any]], Awaitable[Any]]] = {}
+        self._pending: dict[int, asyncio.Future[Any]] = {}
+        self._next_rid = 1
+        self._closed = False
+        self._client_tasks: set[asyncio.Task[None]] = set()
+        # independent seeded streams, as in the sim transport: loss draws
+        # must not shift when backoff jitter is consumed
+        self._loss_rng = random.Random(self.faults.seed)
+        self._backoff_rng = random.Random(seed ^ 0x5EED)
+        self._partition_of: dict[int, int] = {}
+        for gi, group in enumerate(self.faults.partitions):
+            for h in group:
+                self._partition_of[h] = gi
+        self.attach_metrics(metrics)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def start(self, bind: str = "127.0.0.1", port: int = 0,
+                    listen: bool = True) -> str:
+        """Bind the listener (``port=0`` = ephemeral) and return ``addr``.
+
+        ``listen=False`` skips the server — for pure RPC clients, whose
+        responses ride the outgoing connections.
+        """
+        self._loop = asyncio.get_running_loop()
+        if listen:
+            self._server = await asyncio.start_server(self._serve_client, bind, port)
+            actual = self._server.sockets[0].getsockname()[1]
+            self.addr = f"{bind}:{actual}"
+        else:
+            self.addr = f"{bind}:0"
+        return self.addr
+
+    async def close(self) -> None:
+        """Abrupt shutdown: stop listening, drop every pooled connection."""
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            try:
+                await self._server.wait_closed()
+            except (OSError, asyncio.CancelledError):  # pragma: no cover
+                pass
+            self._server = None
+        for task in list(self._client_tasks):
+            task.cancel()
+        if self._client_tasks:
+            await asyncio.gather(*self._client_tasks, return_exceptions=True)
+        self._client_tasks.clear()
+        for conn in list(self._pool.values()):
+            await conn.close()
+        self._pool.clear()
+        for fut in self._pending.values():
+            if not fut.done():
+                fut.set_exception(RpcError("transport closed"))
+        self._pending.clear()
+
+    @property
+    def now(self) -> float:
+        """Monotonic seconds since process start (comparable across all
+        transports in one process, mirroring the sim's shared clock)."""
+        return _now()
+
+    # -- peer table -------------------------------------------------------------
+
+    def set_peer_host(self, addr: str, host: int) -> None:
+        """Associate a peer address with its partition-host index."""
+        self._peer_hosts[addr] = int(host)
+
+    def partitioned(self, a_host: int, b_host: int) -> bool:
+        if not self._partition_of:
+            return False
+        return self._partition_of.get(a_host, -1) != self._partition_of.get(b_host, -1)
+
+    # -- metrics ----------------------------------------------------------------
+
+    def attach_metrics(self, metrics: Any) -> None:
+        """Same instrument set as the sim transport (shared dashboards)."""
+        if metrics is not None and getattr(metrics, "enabled", False):
+            self._m_sent = metrics.counter(
+                "transport_sent_total", "Messages sent", ("proto",))
+            self._m_delivered = metrics.counter(
+                "transport_delivered_total", "Messages delivered", ("proto",))
+            self._m_dropped = metrics.counter(
+                "transport_dropped_total", "Messages dropped", ("proto", "reason"))
+            self._m_bytes = metrics.counter(
+                "transport_bytes_total", "Payload bytes sent", ("proto", "class"))
+            self._m_latency = metrics.histogram(
+                "transport_delivery_latency_seconds",
+                "Send-to-arrival delay of delivered messages")
+        else:
+            self._m_sent = self._m_delivered = None
+            self._m_dropped = self._m_bytes = self._m_latency = None
+
+    # -- timers (the sim transport's cancelable-timer API) ----------------------
+
+    def _require_loop(self) -> asyncio.AbstractEventLoop:
+        loop = self._loop
+        if loop is None:
+            raise RuntimeError("transport not started (call start() first)")
+        return loop
+
+    def timer(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        self._require_loop().call_later(max(0.0, delay), fn, *args)
+
+    def at(self, when: float, fn: Callable[..., Any], *args: Any) -> None:
+        self.timer(when - self.now, fn, *args)
+
+    def timer_cancelable(self, delay: float, fn: Callable[..., Any],
+                         *args: Any) -> NetTimerHandle:
+        return NetTimerHandle(self._require_loop(), delay, fn, args)
+
+    def at_cancelable(self, when: float, fn: Callable[..., Any],
+                      *args: Any) -> NetTimerHandle:
+        return NetTimerHandle(self._require_loop(), when - self.now, fn, args)
+
+    # -- handler registration ---------------------------------------------------
+
+    def register_handler(self, kind: str,
+                         fn: Callable[[Any, dict[str, Any]], None]) -> None:
+        """One-way message handler: ``fn(payload, src_info)``."""
+        self._handlers[kind] = fn
+
+    def register_rpc(self, kind: str,
+                     fn: Callable[[Any, dict[str, Any]], Awaitable[Any]]) -> None:
+        """Request handler: ``await fn(payload, src_info)`` returns the reply."""
+        self._rpc_handlers[kind] = fn
+
+    # -- send path --------------------------------------------------------------
+
+    def _src_info(self) -> dict[str, Any]:
+        return {"id": self.node_id, "host": self.host, "addr": self.addr}
+
+    def _trace_for(self, dst_addr: str, kind: str, size: int,
+                   qid: int | None, attempt: int) -> MessageTrace:
+        return MessageTrace(
+            kind=kind,
+            src=self.node_id,
+            dst=self._peer_hosts.get(dst_addr, -1),
+            src_host=self.host,
+            dst_host=self._peer_hosts.get(dst_addr, -1),
+            size=size,
+            sent_at=self.now,
+            qid=qid,
+            attempt=attempt,
+        )
+
+    def _account_send(self, kind: str, size: int) -> None:
+        self.stats.sent += 1
+        cls = traffic_class(kind)
+        if cls == "query":
+            self.stats.query_bytes += size
+        elif cls == "result":
+            self.stats.result_bytes += size
+        else:
+            self.stats.maintenance_bytes += size
+            self.stats.maintenance_messages += 1
+        if self._m_sent is not None:
+            proto = kind.split(":", 1)[0]
+            self._m_sent.inc((proto,))
+            self._m_bytes.add(size, (proto, cls))
+
+    def _drop(self, rec: MessageTrace, status: str, on_drop: Any) -> bool:
+        rec.status = status
+        if status == DROPPED_DEAD:
+            self.stats.dropped_dead += 1
+        elif status == DROPPED_LOSS:
+            self.stats.dropped_loss += 1
+        else:
+            self.stats.dropped_partition += 1
+        if self._m_dropped is not None:
+            self._m_dropped.inc((rec.kind.split(":", 1)[0], status))
+        if self.trace is not None:
+            self.trace.record(rec)
+        if on_drop is not None:
+            on_drop(rec)
+        return False
+
+    def _faulted(self, rec: MessageTrace, dst_addr: str, on_drop: Any) -> bool:
+        """Apply partition/loss at send time; True when the message dies."""
+        dst_host = self._peer_hosts.get(dst_addr)
+        if dst_host is not None and self.partitioned(self.host, dst_host):
+            self._drop(rec, DROPPED_PARTITION, on_drop)
+            return True
+        if self.faults.loss_rate:
+            if self._loss_rng.random() < self.faults.loss_rate:
+                self._drop(rec, DROPPED_LOSS, on_drop)
+                return True
+        return False
+
+    def send(
+        self,
+        dst_addr: str,
+        kind: str,
+        payload: Any = None,
+        *,
+        size: int = 0,
+        qid: int | None = None,
+        attempt: int = 1,
+        on_drop: Callable[[MessageTrace], None] | None = None,
+    ) -> bool:
+        """One-way message to ``dst_addr`` (``"ip:port"``).
+
+        Returns ``False`` when dropped at send time (loss or partition),
+        exactly like the sim transport; connection failures after send
+        surface through ``on_drop`` with ``dropped:dead``.
+        """
+        rec = self._trace_for(dst_addr, kind, size, qid, attempt)
+        self._account_send(kind, size)
+        if dst_addr == self.addr:
+            # local hand-off: immediate, never faulted (sim parity)
+            envelope_payload = payload
+            self._require_loop().call_soon(
+                self._dispatch_msg, kind, envelope_payload, self._src_info(), rec)
+            return True
+        if self._faulted(rec, dst_addr, on_drop):
+            return False
+        frame = self.framer.encode({
+            "v": 1, "t": "msg", "kind": kind, "src": self._src_info(),
+            "qid": qid, "size": size, "attempt": attempt,
+            "sent_at": rec.sent_at, "payload": payload,
+        })
+        self._conn(dst_addr).enqueue(frame, rec, on_drop)
+        return True
+
+    async def rpc(self, dst_addr: str, kind: str, payload: Any = None, *,
+                  size: int = 0, qid: int | None = None,
+                  timeout: float | None = None) -> Any:
+        """Request/response to ``dst_addr``; raises :class:`RpcTimeout` when
+        no reply arrives in time (dead, partitioned or lossy peer)."""
+        rec = self._trace_for(dst_addr, kind, size, qid, 1)
+        self._account_send(kind, size)
+        if self._faulted(rec, dst_addr, None):
+            raise RpcTimeout(f"rpc {kind} to {dst_addr}: dropped by fault injection")
+        loop = self._require_loop()
+        rid = self._next_rid
+        self._next_rid += 1
+        fut: asyncio.Future[Any] = loop.create_future()
+        self._pending[rid] = fut
+        frame = self.framer.encode({
+            "v": 1, "t": "req", "kind": kind, "rid": rid, "src": self._src_info(),
+            "qid": qid, "size": size, "sent_at": rec.sent_at, "payload": payload,
+        })
+        if dst_addr == self.addr:
+            loop.create_task(self._answer_local(kind, payload, rid))
+        else:
+            self._conn(dst_addr).enqueue(frame, None, None)
+        try:
+            reply = await asyncio.wait_for(fut, timeout or self.rpc_timeout)
+        except TimeoutError:
+            raise RpcTimeout(f"rpc {kind} to {dst_addr}: no response") from None
+        finally:
+            self._pending.pop(rid, None)
+        if isinstance(reply, dict) and reply.get("__rpc_error__"):
+            raise RpcError(f"rpc {kind} to {dst_addr}: {reply['__rpc_error__']}")
+        return reply
+
+    async def _answer_local(self, kind: str, payload: Any, rid: int) -> None:
+        reply = await self._handle_request(kind, payload, self._src_info())
+        fut = self._pending.get(rid)
+        if fut is not None and not fut.done():
+            fut.set_result(reply)
+
+    def _conn(self, addr: str) -> _PeerConnection:
+        conn = self._pool.get(addr)
+        if conn is None or conn.closed:
+            conn = self._pool[addr] = _PeerConnection(self, addr)
+        return conn
+
+    async def flush(self, timeout: float = 5.0) -> bool:
+        """Wait until every outgoing queue drained (sends on the wire)."""
+        deadline = self.now + timeout
+        while self.now < deadline:
+            if all(c.idle for c in self._pool.values()):
+                return True
+            await asyncio.sleep(0.005)
+        return False
+
+    # -- receive path -----------------------------------------------------------
+
+    async def _serve_client(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+        decoder = FrameDecoder()
+        response_framer = self.framer
+        try:
+            while not self._closed:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                try:
+                    envelopes = decoder.feed(chunk)
+                except CodecError:
+                    break  # framing is unrecoverable: drop the connection
+                for env in envelopes:
+                    await self._dispatch(env, writer, response_framer)
+        except (OSError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._client_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, env: Any, writer: asyncio.StreamWriter,
+                        response_framer: Framer) -> None:
+        if not isinstance(env, dict) or env.get("v") != 1:
+            return
+        kind = env.get("kind", "")
+        src = env.get("src") or {}
+        t = env.get("t")
+        if t == "msg":
+            rec = MessageTrace(
+                kind=kind,
+                src=int(src.get("id", -1)),
+                dst=self.node_id,
+                src_host=int(src.get("host", -1)),
+                dst_host=self.host,
+                size=int(env.get("size", 0)),
+                sent_at=float(env.get("sent_at", 0.0)),
+                qid=env.get("qid"),
+                attempt=int(env.get("attempt", 1)),
+            )
+            self._dispatch_msg(kind, env.get("payload"), src, rec)
+        elif t == "req":
+            reply = await self._handle_request(kind, env.get("payload"), src)
+            frame = response_framer.encode({
+                "v": 1, "t": "res", "rid": env.get("rid"), "payload": reply,
+            })
+            try:
+                writer.write(frame)
+                await writer.drain()
+            except OSError:
+                pass
+
+    def _dispatch_msg(self, kind: str, payload: Any, src: dict[str, Any],
+                      rec: MessageTrace) -> None:
+        rec.arrived_at = self.now
+        rec.status = "delivered"
+        self.stats.delivered += 1
+        if self._m_delivered is not None:
+            self._m_delivered.inc((kind.split(":", 1)[0],))
+            self._m_latency.observe(max(0.0, rec.arrived_at - rec.sent_at))
+        if self.trace is not None:
+            self.trace.record(rec)
+        handler = self._handlers.get(kind)
+        if handler is not None:
+            handler(payload, src)
+
+    async def _handle_request(self, kind: str, payload: Any,
+                              src: dict[str, Any]) -> Any:
+        handler = self._rpc_handlers.get(kind)
+        if handler is None:
+            return {"__rpc_error__": f"no handler for {kind!r}"}
+        try:
+            return await handler(payload, src)
+        except Exception as exc:  # propagate as a structured error, not a hang
+            return {"__rpc_error__": f"{type(exc).__name__}: {exc}"}
+
+    async def _read_responses(self, reader: asyncio.StreamReader) -> None:
+        """Consume ``res`` frames arriving on an outgoing connection."""
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    return
+                try:
+                    envelopes = decoder.feed(chunk)
+                except CodecError:
+                    return
+                for env in envelopes:
+                    if not isinstance(env, dict) or env.get("t") != "res":
+                        continue
+                    fut = self._pending.get(env.get("rid"))
+                    if fut is not None and not fut.done():
+                        fut.set_result(env.get("payload"))
+        except (OSError, asyncio.CancelledError):
+            return

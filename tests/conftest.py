@@ -2,11 +2,53 @@
 
 from __future__ import annotations
 
+import importlib.util
 import os
+import signal
+import threading
 
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
+
+#: live-network tests carry @pytest.mark.timeout(N) so a wedged socket or
+#: event loop fails fast instead of hanging CI.  When the pytest-timeout
+#: plugin is installed it owns the marker; otherwise the SIGALRM fallback
+#: below enforces it (POSIX main-thread only, which is where pytest runs
+#: the tests).
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test after this many wall-clock seconds "
+        "(pytest-timeout when installed, SIGALRM fallback otherwise)",
+    )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout")
+    if (
+        marker is None
+        or _HAVE_PYTEST_TIMEOUT
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return (yield)
+    seconds = float(marker.args[0]) if marker.args else 60.0
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(f"{item.nodeid} exceeded the {seconds:g}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 from repro.core.platform import IndexPlatform
 from repro.dht.ring import ChordRing

@@ -1,0 +1,288 @@
+"""Wire-codec properties: round trips, framing, chunk splits, versioning.
+
+Hypothesis drives two invariants end to end:
+
+* **value round trip** — any encodable value tree (scalars, bytes, arrays,
+  registered messages, the routing value types) survives
+  encode → frame → decode bit-exactly;
+* **chunk-boundary independence** — a frame stream split at *arbitrary*
+  byte boundaries decodes to the same values in the same order (the
+  property that makes the TCP receive path correct no matter how the
+  kernel slices the stream).
+
+Plus directed tests for the failure modes: version mismatch, schema
+drift, reserved keys, corrupt length prefixes, and truncated arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.query import RangeQuery, Rect
+from repro.net.codec import (
+    MAX_FRAME_BYTES,
+    WIRE_VERSION,
+    CodecError,
+    FrameDecoder,
+    Framer,
+    available_formats,
+    decode_value,
+    encode_value,
+)
+from repro.sim.messages import QueryMessage, ResultEntry, ResultMessage, message_schema
+from repro.util.arrays import decode_array, encode_array
+
+# -- strategies -----------------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False),  # NaN != NaN breaks equality, not the codec
+    st.text(max_size=40),
+    st.binary(max_size=64),
+)
+
+small_arrays = st.one_of(
+    st.lists(st.floats(allow_nan=False, width=64), max_size=8).map(
+        lambda v: np.asarray(v, dtype=np.float64)),
+    st.lists(st.integers(0, 2**63 - 1), max_size=8).map(
+        lambda v: np.asarray(v, dtype=np.uint64)),
+    st.lists(st.integers(-(2**31), 2**31 - 1), max_size=8).map(
+        lambda v: np.asarray(v, dtype=np.int64)),
+)
+
+result_entries = st.builds(
+    ResultEntry,
+    object_id=st.integers(0, 2**31),
+    distance=st.floats(0, 1e9, allow_nan=False),
+)
+
+
+def _rects() -> st.SearchStrategy[Rect]:
+    return st.integers(1, 4).flatmap(lambda k: st.tuples(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=k, max_size=k),
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=k, max_size=k),
+    ).map(lambda lh: Rect(
+        np.minimum(lh[0], lh[1]), np.maximum(lh[0], lh[1]) + 1.0)))
+
+
+query_messages = st.builds(
+    QueryMessage,
+    qid=st.integers(0, 2**31),
+    subqueries=st.lists(_rects().map(lambda r: RangeQuery(
+        rect=r, prefix_key=0, prefix_len=0, qid=0, source=None,
+        index_name="t", payload=None, radius=None)), max_size=3),
+    kind=st.sampled_from(["routing", "refine"]),
+    hops=st.integers(0, 30),
+    k=st.integers(0, 50),
+)
+
+result_messages = st.builds(
+    ResultMessage,
+    qid=st.integers(0, 2**31),
+    entries=st.lists(result_entries, max_size=6),
+    from_node=st.integers(0, 2**31),
+)
+
+trees = st.recursive(
+    st.one_of(scalars, small_arrays, result_entries, _rects(),
+              query_messages, result_messages),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.text(min_size=1, max_size=10).filter(lambda s: not s.startswith("__")),
+            children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def assert_same(a, b) -> None:
+    """Structural equality across the types the codec carries."""
+    if isinstance(a, np.ndarray):
+        assert isinstance(b, np.ndarray)
+        assert a.dtype == b.dtype and a.shape == b.shape
+        assert a.tobytes() == b.tobytes()  # bit-exact, not approx
+    elif isinstance(a, Rect):
+        assert isinstance(b, Rect)
+        assert_same(a.lows, b.lows)
+        assert_same(a.highs, b.highs)
+    elif isinstance(a, RangeQuery):
+        assert isinstance(b, RangeQuery)
+        assert_same(a.rect, b.rect)
+        for f in ("prefix_key", "prefix_len", "qid", "index_name", "radius"):
+            assert getattr(a, f) == getattr(b, f)
+        assert_same(a.source, b.source)
+        assert_same(a.payload, b.payload)
+    elif isinstance(a, (QueryMessage, ResultMessage)):
+        assert type(a) is type(b)
+        for f in message_schema()[type(a).__name__]:
+            assert_same(getattr(a, f), getattr(b, f))
+    elif isinstance(a, ResultEntry):
+        assert isinstance(b, ResultEntry)
+        assert a.object_id == b.object_id and a.distance == b.distance
+    elif isinstance(a, (list, tuple)):
+        assert isinstance(b, list)
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert_same(x, y)
+    elif isinstance(a, dict):
+        assert isinstance(b, dict)
+        assert set(a) == set(b)
+        for k in a:
+            assert_same(a[k], b[k])
+    else:
+        assert a == b and type(a) is type(b)
+
+
+# -- properties -----------------------------------------------------------------
+
+
+@given(trees)
+def test_value_round_trip(value):
+    assert_same(value, decode_value(encode_value(value)))
+
+
+@pytest.mark.parametrize("fmt", available_formats())
+@given(values=st.lists(trees, min_size=1, max_size=5), data=st.data())
+def test_frame_stream_survives_arbitrary_chunking(fmt, values, data):
+    framer = Framer(fmt)
+    stream = b"".join(framer.encode(v) for v in values)
+    cuts = sorted(data.draw(st.lists(
+        st.integers(0, len(stream)), max_size=8)))
+    decoder = FrameDecoder()
+    out = []
+    prev = 0
+    for cut in cuts + [len(stream)]:
+        out.extend(decoder.feed(stream[prev:cut]))
+        prev = cut
+    assert decoder.pending_bytes == 0
+    assert len(out) == len(values)
+    for want, got in zip(values, out):
+        assert_same(want, got)
+
+
+@given(query_messages | result_messages)
+def test_every_registered_message_type_round_trips(msg):
+    # the schema registry is the source of truth: every registered type the
+    # codec claims to carry must round-trip through a framed stream
+    assert type(msg).__name__ in message_schema()
+    framer = Framer("json")
+    decoder = FrameDecoder()
+    (got,) = decoder.feed(framer.encode(msg))
+    assert_same(msg, got)
+
+
+def test_byte_by_byte_feed():
+    framer = Framer("json")
+    msg = QueryMessage(qid=7, subqueries=3, kind="range", hops=2, k=None)
+    stream = framer.encode(msg) + framer.encode({"tail": [1, 2, 3]})
+    decoder = FrameDecoder()
+    out = []
+    for i in range(len(stream)):
+        out.extend(decoder.feed(stream[i:i + 1]))
+    assert len(out) == 2
+    assert_same(msg, out[0])
+    assert_same({"tail": [1, 2, 3]}, out[1])
+
+
+# -- directed failure modes -----------------------------------------------------
+
+
+def test_version_mismatch_rejected():
+    encoded = encode_value(QueryMessage(qid=1, subqueries=1, kind="range",
+                                        hops=0, k=None))
+    encoded["__v__"] = WIRE_VERSION + 1
+    with pytest.raises(CodecError, match="wire version"):
+        decode_value(encoded)
+
+
+def test_schema_field_drift_rejected():
+    encoded = encode_value(ResultMessage(qid=1, entries=[], from_node=2))
+    encoded["surprise"] = 1
+    with pytest.raises(CodecError, match="field set disagrees"):
+        decode_value(encoded)
+    del encoded["surprise"], encoded["qid"]
+    with pytest.raises(CodecError, match="field set disagrees"):
+        decode_value(encoded)
+
+
+def test_unknown_message_and_object_tags_rejected():
+    with pytest.raises(CodecError, match="not a registered message"):
+        decode_value({"__msg__": "NopeMessage", "__v__": WIRE_VERSION})
+    with pytest.raises(CodecError, match="unknown tagged object"):
+        decode_value({"__obj__": "Nope"})
+
+
+def test_reserved_payload_keys_rejected():
+    for key in ("__msg__", "__obj__", "__bytes__", "__nd__", "__npscalar__"):
+        with pytest.raises(CodecError, match="collides"):
+            encode_value({"data": {key: 1}})
+
+
+def test_non_string_keys_rejected():
+    with pytest.raises(CodecError, match="non-string"):
+        encode_value({1: "x"})
+
+
+def test_unencodable_type_rejected():
+    with pytest.raises(CodecError, match="not wire-encodable"):
+        encode_value(object())
+
+
+def test_invalid_frame_length_rejected():
+    decoder = FrameDecoder()
+    with pytest.raises(CodecError, match="invalid frame length"):
+        decoder.feed((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+    decoder = FrameDecoder()
+    with pytest.raises(CodecError, match="invalid frame length"):
+        decoder.feed((0).to_bytes(4, "big") + b"x")
+
+
+def test_undecodable_body_rejected():
+    decoder = FrameDecoder()
+    body = b"{not json"
+    frame = (len(body) + 1).to_bytes(4, "big") + b"J" + body
+    with pytest.raises(CodecError, match="undecodable JSON"):
+        decoder.feed(frame)
+    decoder = FrameDecoder()
+    frame = (2).to_bytes(4, "big") + b"\x00x"
+    with pytest.raises(CodecError, match="unknown frame format"):
+        decoder.feed(frame)
+
+
+def test_truncated_array_payload_rejected():
+    payload = encode_array(np.arange(4, dtype=np.float64))
+    payload["shape"] = [8]  # claims more elements than the buffer holds
+    with pytest.raises(CodecError, match="bytes"):
+        decode_value(payload)
+
+
+def test_array_disk_wire_encoding_is_shared():
+    # the WAL and the wire use the same raw-buffer encoding, so a shard
+    # batch can move between them without re-encoding
+    arr = np.array([0.1, 0.2, -1.5e300], dtype=np.float64)
+    assert decode_array(encode_array(arr)).tobytes() == arr.tobytes()
+    assert_same(arr, decode_value(encode_value(arr)))
+
+
+def test_rangequery_round_trip():
+    rq = RangeQuery(
+        rect=Rect(np.array([0.0, 1.0]), np.array([2.0, 3.0])),
+        prefix_key=0b1010 << 28,
+        prefix_len=4,
+        qid=77,
+        source=None,
+        index_name="t",
+        payload={"hops": 3},
+        radius=1.25,
+    )
+    got = decode_value(encode_value(rq))
+    assert isinstance(got, RangeQuery)
+    assert got.prefix_key == rq.prefix_key and got.prefix_len == rq.prefix_len
+    assert got.qid == rq.qid and got.index_name == "t"
+    assert got.payload == {"hops": 3} and got.radius == 1.25
+    assert_same(got.rect, rq.rect)

@@ -1,0 +1,159 @@
+"""Backend-agnostic transport conformance suite.
+
+One parametrized set of assertions over the Transport contract, run against
+both execution backends:
+
+* ``sim`` — :class:`repro.sim.transport.Transport` on the discrete-event
+  engine (tier-1: fast, deterministic);
+* ``tcp`` — :class:`repro.net.transport.TcpTransport` on real asyncio
+  sockets (marked ``slow``; the CI live-backend job runs it).
+
+The contract under test: per-peer in-order delivery, cancelable-timer
+semantics, fault-injection drop behaviour (loss, partition, self-send
+exemption), trace-sink emission, and stats/byte accounting.  A behaviour
+difference between the backends is a bug in the live backend, not in the
+test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.transport import FaultConfig
+
+from tests.net_helpers import SimHarness, TcpHarness
+
+BACKENDS = [
+    pytest.param("sim", id="sim"),
+    pytest.param("tcp", id="tcp",
+                 marks=[pytest.mark.slow, pytest.mark.timeout(60)]),
+]
+
+
+@pytest.fixture(params=BACKENDS)
+def harness(request):
+    h = SimHarness() if request.param == "sim" else TcpHarness()
+    yield h
+    h.stop()
+
+
+def test_in_order_delivery_per_peer(harness):
+    harness.start(2)
+    n = 64
+    for i in range(n):
+        assert harness.send(0, 1, kind="message", payload=i)
+    harness.settle()
+    assert [p for _, p in harness.received(1)] == list(range(n))
+
+
+def test_in_order_delivery_interleaved_destinations(harness):
+    harness.start(3)
+    for i in range(32):
+        harness.send(0, 1, kind="message", payload=("to1", i))
+        harness.send(0, 2, kind="message", payload=("to2", i))
+    harness.settle()
+    got1 = [tuple(p) for _, p in harness.received(1)]
+    got2 = [tuple(p) for _, p in harness.received(2)]
+    assert got1 == [("to1", i) for i in range(32)]
+    assert got2 == [("to2", i) for i in range(32)]
+
+
+def test_delivered_trace_records(harness):
+    harness.start(2)
+    harness.send(0, 1, kind="message", payload="x", size=17, qid=42)
+    harness.settle()
+    delivered = [t for t in harness.trace_records() if t.status == "delivered"]
+    assert len(delivered) == 1
+    t = delivered[0]
+    assert t.kind == "message"
+    assert t.src_host == 0 and t.dst_host == 1
+    assert t.size == 17
+    assert t.qid == 42
+    assert t.attempt == 1
+    assert t.arrived_at is not None and t.arrived_at >= t.sent_at
+
+
+def test_timer_fires_and_deactivates(harness):
+    harness.start(1)
+    fired = []
+    h = harness.timer(0, 0.01, lambda: fired.append(1))
+    assert h.active
+    harness.advance(0.1)
+    assert fired == [1]
+    assert not h.active
+    h.cancel()  # cancel-after-fire is a no-op
+    assert not h.active
+
+
+def test_timer_cancel_prevents_firing(harness):
+    harness.start(1)
+    fired = []
+    h = harness.timer(0, 0.02, lambda: fired.append(1))
+    h.cancel()
+    assert not h.active
+    h.cancel()  # idempotent
+    harness.advance(0.1)
+    assert fired == []
+
+
+def test_full_loss_drops_everything(harness):
+    harness.start(2, faults=FaultConfig(loss_rate=1.0, seed=3))
+    drops = []
+    for i in range(10):
+        ok = harness.send(0, 1, kind="message", payload=i, on_drop=drops.append)
+        assert ok is False
+    harness.settle()
+    assert harness.received(1) == []
+    assert len(drops) == 10
+    assert all(t.status == "dropped:loss" for t in drops)
+    assert harness.total_dropped("loss") == 10
+    assert harness.total_delivered() == 0
+    statuses = {t.status for t in harness.trace_records()}
+    assert statuses == {"dropped:loss"}
+
+
+def test_partition_blocks_cross_group_only(harness):
+    faults = FaultConfig(partitions=({0, 1}, {2}))
+    harness.start(3, faults=faults)
+    assert harness.send(0, 1, kind="message", payload="same-group")
+    ok_cross = harness.send(0, 2, kind="message", payload="cross")
+    assert ok_cross is False
+    harness.settle()
+    assert [p for _, p in harness.received(1)] == ["same-group"]
+    assert harness.received(2) == []
+    assert harness.total_dropped("partition") == 1
+    dropped = [t for t in harness.trace_records()
+               if t.status == "dropped:partition"]
+    assert len(dropped) == 1
+    assert (dropped[0].src_host, dropped[0].dst_host) == (0, 2)
+
+
+def test_self_send_is_never_faulted(harness):
+    harness.start(1, faults=FaultConfig(loss_rate=1.0, seed=1))
+    assert harness.send(0, 0, kind="message", payload="local")
+    harness.settle()
+    assert [p for _, p in harness.received(0)] == ["local"]
+    assert harness.total_delivered() == 1
+
+
+def test_stats_and_byte_accounting(harness):
+    harness.start(2)
+    harness.send(0, 1, kind="message", payload=None, size=10)   # query class
+    harness.send(0, 1, kind="result", payload=None, size=20)
+    harness.send(0, 1, kind="maintenance:x", payload=None, size=30)
+    harness.settle()
+    assert harness.total_sent() == 3
+    assert harness.total_delivered() == 3
+    assert harness.byte_totals() == (10, 20, 30)
+
+
+def test_seeded_loss_is_reproducible(harness):
+    outcomes = []
+    for _ in range(2):
+        harness.start(2, faults=FaultConfig(loss_rate=0.5, seed=99))
+        outcomes.append(tuple(
+            harness.send(0, 1, kind="message", payload=i) for i in range(32)
+        ))
+        harness.settle()
+    assert outcomes[0] == outcomes[1]
+    assert any(outcomes[0]) and not all(outcomes[0])
