@@ -28,6 +28,8 @@ negatives.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, rule
@@ -61,7 +63,7 @@ class DifferentialMachine(RuleBasedStateMachine):
     def _seed_bug(self) -> None:
         """Overridden by machines that plant an intentional defect."""
 
-    def _apply(self, op: list) -> None:
+    def _apply(self, op: list[Any]) -> None:
         self.scenario.ops.append(op)
         apply_op(self.world, op)
         if self.world.mismatches:

@@ -63,7 +63,7 @@ class _Reporter:
     event tail is on disk before the exception unwinds anything.
     """
 
-    def __init__(self, strict: bool = True, flight=None) -> None:
+    def __init__(self, strict: bool = True, flight: Any = None) -> None:
         self.strict = strict
         self.flight = flight
         self.violations: list[InvariantViolation] = []
@@ -92,7 +92,7 @@ def check_live_cluster(
     m: int,
     strict: bool = True,
     expected_entries: int | None = None,
-    flight=None,
+    flight: Any = None,
 ) -> _Reporter:
     """Ring + conservation checks over live-node ``status`` RPC replies.
 
@@ -173,13 +173,13 @@ class PartitionChecker(_Reporter):
       must tile the claimed interval with no gap and no overlap.
     """
 
-    def __init__(self, index, strict: bool = True, flight=None) -> None:
+    def __init__(self, index: Any, strict: bool = True, flight: Any = None) -> None:
         super().__init__(strict, flight=flight)
         self.index = index
 
     # -- Algorithm 4: the two halves tile the parent rectangle -----------------
 
-    def on_split(self, q, subs) -> None:
+    def on_split(self, q: Any, subs: Any) -> None:
         m = self.index.m
         k = self.index.bounds.k
         p = q.prefix_len + 1
@@ -236,7 +236,9 @@ class PartitionChecker(_Reporter):
 
     # -- Algorithm 5: the key intervals tile the claimed range -----------------
 
-    def on_refine(self, q, eff: int, local_lo: int, local_hi: int, siblings) -> None:
+    def on_refine(
+        self, q: Any, eff: int, local_lo: int, local_hi: int, siblings: Any
+    ) -> None:
         m = self.index.m
         span = 1 << (m - q.prefix_len)
         key_lo = q.prefix_key
@@ -302,7 +304,13 @@ class InvariantChecker(_Reporter):
     the last membership change).
     """
 
-    def __init__(self, platform=None, ring=None, strict: bool = True, flight=None) -> None:
+    def __init__(
+        self,
+        platform: Any = None,
+        ring: Any = None,
+        strict: bool = True,
+        flight: Any = None,
+    ) -> None:
         super().__init__(strict, flight=flight)
         self.platform = platform
         self.ring = ring if ring is not None else (platform.ring if platform else None)
@@ -310,7 +318,7 @@ class InvariantChecker(_Reporter):
         self.engines: list[Any] = []
         self._hook_installed = False
 
-    def track_engine(self, engine) -> None:
+    def track_engine(self, engine: Any) -> None:
         if engine is not None and engine not in self.engines:
             self.engines.append(engine)
 
@@ -371,7 +379,7 @@ class InvariantChecker(_Reporter):
 
     # -- exactly-one-owner coverage ---------------------------------------------
 
-    def check_ownership(self, index=None) -> None:
+    def check_ownership(self, index: Any = None) -> None:
         """Every entry of every index is stored exactly on its owner plus the
         configured replica successors — nowhere else, never twice."""
         indexes = [index] if index is not None else list(
@@ -385,7 +393,7 @@ class InvariantChecker(_Reporter):
                 continue
             owners = ring.owners_of_keys(idx.rotated_keys())
             copies = min(idx.replication, n)
-            expected: dict[int, list] = {node.id: [] for node in nodes}
+            expected: dict[int, list[tuple[int, int]]] = {node.id: [] for node in nodes}
             for e, owner_pos in enumerate(owners):
                 for c in range(copies):
                     holder = nodes[(int(owner_pos) + c) % n]
@@ -414,7 +422,7 @@ class InvariantChecker(_Reporter):
 
     # -- query branch conservation ------------------------------------------------
 
-    def check_conservation(self, engine=None) -> None:
+    def check_conservation(self, engine: Any = None) -> None:
         """``branches_opened == settled + discarded + in flight`` per engine."""
         engines = [engine] if engine is not None else self.engines
         for eng in engines:
@@ -431,7 +439,7 @@ class InvariantChecker(_Reporter):
 
     # -- span-tree reconciliation ---------------------------------------------------
 
-    def check_spans(self, stats, qid: int | None = None) -> None:
+    def check_spans(self, stats: Any, qid: int | None = None) -> None:
         """Reconcile recorded spans against per-query stats counters.
 
         Needs the platform's observability with a memory span sink.  Checks
@@ -456,7 +464,7 @@ class InvariantChecker(_Reporter):
 
     # -- orchestration -----------------------------------------------------------------
 
-    def check_all(self, stats=None) -> InvariantChecker:
+    def check_all(self, stats: Any = None) -> InvariantChecker:
         self.check_ring()
         self.check_ownership()
         self.check_conservation()
@@ -464,17 +472,16 @@ class InvariantChecker(_Reporter):
             self.check_spans(stats)
         return self
 
-    def attach(self, sim, interval: float = 1.0, stats=None) -> None:
+    def attach(self, sim: Any, interval: float = 1.0, stats: Any = None) -> None:
         """Run :meth:`check_all` every ``interval`` sim-seconds while events
-        remain queued (the tick re-arms only then, so the checker never keeps
-        an otherwise-finished simulation alive)."""
+        remain queued (``sim.every`` re-arms only on a truthy return, so the
+        checker never keeps an otherwise-finished simulation alive)."""
 
-        def tick() -> None:
+        def tick() -> bool:
             self.check_all(stats)
-            if sim.pending() > 0:
-                sim.schedule_in(interval, tick)
+            return sim.pending() > 0
 
-        sim.schedule_in(interval, tick)
+        sim.every(interval, tick)
         self._hook_installed = True
 
     def summary(self) -> dict[str, int]:

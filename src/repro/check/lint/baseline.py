@@ -10,6 +10,12 @@ Entries match findings by fingerprint (``rule``, ``path``, ``symbol``,
 ``snippet``); see :meth:`repro.check.lint.findings.Finding.fingerprint`.
 An entry that no longer matches anything is *stale* and reported as an
 error, so the baseline can only ever shrink by deleting paid-down entries.
+
+Monotonicity is enforced by a ``budget`` integer stored in the document:
+the gate fails when the entry count exceeds the budget (debt grew) or any
+entry still carries the placeholder justification.  ``save`` ratchets the
+budget down to the surviving entry count, so once debt is paid it cannot
+quietly come back.
 """
 
 from __future__ import annotations
@@ -42,12 +48,36 @@ class BaselineEntry:
 class Baseline:
     """An ordered set of :class:`BaselineEntry`, loaded from / saved as JSON."""
 
-    def __init__(self, entries: tuple[BaselineEntry, ...] = ()) -> None:
+    def __init__(
+        self,
+        entries: tuple[BaselineEntry, ...] = (),
+        budget: int | None = None,
+    ) -> None:
         self.entries = tuple(entries)
+        self.budget = budget
         self._index = {e.fingerprint(): e for e in self.entries}
 
     def __len__(self) -> int:
         return len(self.entries)
+
+    def violations(self) -> list[str]:
+        """Monotonicity-gate failures: over-budget growth and entries still
+        carrying the placeholder justification.  Empty means the baseline
+        is healthy; anything here fails the lint gate."""
+        problems: list[str] = []
+        if self.budget is not None and len(self.entries) > self.budget:
+            problems.append(
+                f"baseline grew: {len(self.entries)} entrie(s) exceed the "
+                f"budget of {self.budget} — fix the new finding instead of "
+                "baselining it (the budget only ratchets down)"
+            )
+        for e in self.entries:
+            if "TODO" in e.justification or not e.justification.strip():
+                problems.append(
+                    f"baseline entry {e.rule} {e.path} ({e.symbol}) has no "
+                    "real justification — write one or fix the finding"
+                )
+        return problems
 
     def match(self, finding: Finding) -> BaselineEntry | None:
         return self._index.get(finding.fingerprint())
@@ -83,7 +113,8 @@ class Baseline:
             )
             for e in doc.get("entries", ())
         )
-        return cls(entries)
+        budget = doc.get("budget")
+        return cls(entries, budget=int(budget) if budget is not None else None)
 
     @classmethod
     def from_findings(cls, findings: list[Finding], old: Baseline | None = None) -> Baseline:
@@ -105,15 +136,23 @@ class Baseline:
                     justification=kept.justification if kept else _UNJUSTIFIED,
                 )
             )
-        return cls(tuple(entries))
+        budget = old.budget if old is not None else None
+        return cls(tuple(entries), budget=budget)
 
     def save(self, path: str | Path) -> None:
+        # the budget only ever ratchets down: saving records the smaller of
+        # the previous budget and what actually survived
+        budget = len(self.entries)
+        if self.budget is not None:
+            budget = min(self.budget, budget)
         doc = {
             "_comment": (
                 "Grandfathered `repro lint` violations; every entry needs a "
                 "justification. Delete entries as the debt is paid down — "
-                "stale entries fail the lint gate."
+                "stale entries fail the lint gate, and the budget only "
+                "ratchets down (growth fails CI)."
             ),
+            "budget": budget,
             "entries": [
                 {
                     "rule": e.rule,

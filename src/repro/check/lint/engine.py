@@ -234,7 +234,13 @@ def all_rules() -> list[Rule]:
 
 def _load_rule_modules() -> None:
     # import side-effect registers the rule classes exactly once
-    from repro.check.lint import architecture, contracts, determinism  # noqa: F401
+    from repro.check.lint import (  # noqa: F401
+        architecture,
+        async_safety,
+        contracts,
+        determinism,
+        protocol,
+    )
 
 
 @dataclass
@@ -243,13 +249,19 @@ class LintResult:
 
     findings: list[Finding] = field(default_factory=list)  #: not in the baseline
     baselined: list[Finding] = field(default_factory=list)
-    stale: list = field(default_factory=list)  #: baseline entries matching nothing
+    stale: list[Any] = field(default_factory=list)  #: baseline entries matching nothing
     errors: list[str] = field(default_factory=list)  #: unparseable files
+    baseline_problems: list[str] = field(default_factory=list)  #: monotonicity gate
     files_scanned: int = 0
 
     @property
     def ok(self) -> bool:
-        return not self.findings and not self.stale and not self.errors
+        return (
+            not self.findings
+            and not self.stale
+            and not self.errors
+            and not self.baseline_problems
+        )
 
     @property
     def all_findings(self) -> list[Finding]:
@@ -366,6 +378,7 @@ def run_lint(
     result.stale = baseline.stale_entries(
         all_found, scanned_paths={m.relpath for m in modules}
     )
+    result.baseline_problems = baseline.violations()
     return result
 
 

@@ -29,7 +29,7 @@ __all__ = ["LinearScanOracle"]
 class LinearScanOracle:
     """Brute-force reference answers over ``dataset`` with ``metric``."""
 
-    def __init__(self, dataset: Any, metric, ids: Iterable[int] | None = None) -> None:
+    def __init__(self, dataset: Any, metric: Any, ids: Iterable[int] | None = None) -> None:
         self.dataset = dataset
         self.metric = metric
         n = dataset.shape[0] if hasattr(dataset, "shape") else len(dataset)
@@ -75,7 +75,7 @@ class LinearScanOracle:
     # -- differential comparison -------------------------------------------------------
 
     def compare_range(
-        self, obj: Any, radius: float, entries
+        self, obj: Any, radius: float, entries: Iterable[Any]
     ) -> dict[str, list[int]]:
         """Diff a distributed result set against the reference answer.
 

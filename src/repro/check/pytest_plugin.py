@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 import re
+from typing import Any
 
 import pytest
 
@@ -40,7 +41,7 @@ def _bundle_path(nodeid: str) -> str:
     return os.path.join(bundle_dir(), f"{safe}.json")
 
 
-def _dump_flight_recorders(item, report) -> None:
+def _dump_flight_recorders(item: Any, report: Any) -> None:
     """Write every live flight recorder with buffered events as a bundle.
 
     Recorders register themselves in a WeakSet at construction
@@ -70,7 +71,7 @@ def _dump_flight_recorders(item, report) -> None:
 
 
 @pytest.hookimpl(wrapper=True)
-def pytest_runtest_makereport(item, call):
+def pytest_runtest_makereport(item: Any, call: Any) -> Any:
     report = yield
     if report.when == "call":
         scenario = _replay.current_scenario()

@@ -86,17 +86,17 @@ class Scenario:
     latency: float = 0.01
     selection: str = "greedy"
     #: operation list; each op is a JSON-able list ``[kind, *int_args]``
-    ops: list[list] = field(default_factory=list)
+    ops: list[list[Any]] = field(default_factory=list)
 
     @property
     def faults_active(self) -> bool:
         return bool(self.loss or self.jitter)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, d: dict) -> Scenario:
+    def from_dict(cls, d: dict[str, Any]) -> Scenario:
         return cls(**d)
 
 
@@ -115,11 +115,11 @@ class RunFingerprint:
     span_count: int
     ops_applied: int
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, d: dict) -> RunFingerprint:
+    def from_dict(cls, d: dict[str, Any]) -> RunFingerprint:
         return cls(**d)
 
     def diff(self, other: RunFingerprint) -> list[str]:
@@ -202,7 +202,7 @@ class World:
             self.hasher.update(str(p).encode())
             self.hasher.update(b"|")
 
-    def _live_source(self):
+    def _live_source(self) -> Any:
         return self.platform.ring.nodes()[0]
 
     def _query_object(self, qseed: int) -> np.ndarray:
@@ -239,7 +239,7 @@ def build_world(scenario: Scenario, differential: bool = False) -> World:
     return World(scenario, differential=differential)
 
 
-def apply_op(world: World, op: list) -> str:
+def apply_op(world: World, op: list[Any]) -> str:
     """Execute one scenario operation; returns its timeline summary.
 
     Invalid operations (deleting an unindexed object, crashing below the
@@ -466,7 +466,7 @@ def clear_scenario() -> None:
 
 
 def write_bundle(
-    path, scenario: Scenario,
+    path: Any, scenario: Scenario,
     fingerprint: RunFingerprint | None = None,
     error: str | None = None,
 ) -> None:
@@ -481,14 +481,14 @@ def write_bundle(
         fh.write("\n")
 
 
-def record_run(scenario: Scenario, path, differential: bool = False) -> RunReport:
+def record_run(scenario: Scenario, path: Any, differential: bool = False) -> RunReport:
     """Execute ``scenario`` and write its replay log to ``path``."""
     report = execute_scenario(scenario, differential=differential)
     write_bundle(path, scenario, fingerprint=report.fingerprint)
     return report
 
 
-def replay_file(path, differential: bool = False) -> tuple[bool, list[str], RunReport]:
+def replay_file(path: Any, differential: bool = False) -> tuple[bool, list[str], RunReport]:
     """Re-execute a replay log; returns ``(identical, diffs, report)``.
 
     ``identical`` is True when the re-run's fingerprint matches the recorded

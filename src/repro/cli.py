@@ -525,6 +525,7 @@ def _run_lint(args) -> int:
                 for e in result.stale
             ],
             "errors": result.errors,
+            "baseline_problems": result.baseline_problems,
             "ok": result.ok,
         }, indent=2))
         return 0 if result.ok else 1
@@ -534,6 +535,8 @@ def _run_lint(args) -> int:
     for e in result.stale:
         print(f"stale baseline entry: {e.rule} {e.path} [{e.symbol}] — "
               "violation is gone, delete the entry")
+    for problem in result.baseline_problems:
+        print(f"baseline: {problem}")
     for err in result.errors:
         print(f"parse error: {err}")
     n, b = len(result.findings), len(result.baselined)
@@ -543,7 +546,10 @@ def _run_lint(args) -> int:
 
 
 #: packages under the strict typing gate (mypy --strict must pass)
-TYPECHECK_PACKAGES = ("repro.core", "repro.dht", "repro.util")
+TYPECHECK_PACKAGES = (
+    "repro.core", "repro.dht", "repro.util",
+    "repro.sim", "repro.obs", "repro.net", "repro.check",
+)
 
 
 def _run_typecheck(args) -> int:

@@ -81,7 +81,7 @@ def knn_search(
     total_msgs = 0
     total_qbytes = 0
     total_rbytes = 0
-    nodes_touched: set = set()
+    nodes_touched: set[int] = set()
     best: dict[int, float] = {}
     rounds = 0
     exact = False

@@ -197,7 +197,7 @@ class QueryFuture:
         """Branches still in flight (0 once terminal)."""
         return self._rec.outstanding
 
-    def entries(self) -> list:
+    def entries(self) -> list[Any]:
         """Merged result entries so far, deduplicated by object id (the best
         distance wins), sorted by (distance, object id).  Available on
         incomplete and timed-out queries — partial results are explicit."""
@@ -207,7 +207,7 @@ class QueryFuture:
         merged.sort(key=lambda e: (e.distance, e.object_id))
         return merged
 
-    def result(self, top_k: int | None = None) -> list:
+    def result(self, top_k: int | None = None) -> list[Any]:
         """The merged entries of a *completed* query.
 
         Raises :class:`QueryTimeout` when the query timed out (use

@@ -131,7 +131,7 @@ def dynamic_load_migration(
         nodes = ring.nodes()
         order = rng.permutation(len(nodes))
         moves_this_round = 0
-        moved_ids: set = set()
+        moved_ids: set[int] = set()
         for pos in order:
             node = nodes[pos]
             if node.id in moved_ids or node.id not in ring.nodes_by_id:

@@ -215,7 +215,7 @@ class LandmarkIndex:
         """
         before = len(self._keys)
         keys, points, oids = [], [], []
-        seen: set = set()
+        seen: set[int] = set()
         for shard in self.shards.values():
             for j in range(len(shard)):
                 oid = int(shard.object_ids[j])
@@ -676,7 +676,7 @@ class IndexPlatform:
         top_k: int = 10,
         policy: RetryPolicy | None = None,
         **protocol_kwargs: Any,
-    ) -> list:
+    ) -> list[Any]:
         """One-shot similarity query; returns merged, deduplicated results.
 
         Results are ``ResultEntry`` objects sorted by distance (closest

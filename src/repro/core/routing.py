@@ -324,10 +324,10 @@ class QueryProtocol(Protocol):
 
     def issue_many(
         self,
-        queries: list,
-        nodes: list,
-        at_times: list,
-    ) -> list:
+        queries: list[RangeQuery],
+        nodes: list[Any],
+        at_times: list[float],
+    ) -> list[Any]:
         """Inject a batch of queries at their arrival times (bulk workload path).
 
         Equivalent to ``[self.issue(q, n, at_time=t) for ...]`` — same stats

@@ -135,7 +135,7 @@ class PastryRing:
         """Construct a converged ring of ``n_nodes`` (SHA-1 node ids)."""
         rng = as_rng(seed)
         ring = cls(m=m, b=b, leaf_set_size=leaf_set_size, latency=latency)
-        seen: set = set()
+        seen: set[int] = set()
         i = salt = 0
         while len(ring.nodes_by_id) < n_nodes:
             nid = node_id(f"pastry-{i}-{salt}", m)

@@ -96,7 +96,7 @@ class ChordRing:
         ring = cls(m=m, successor_list_len=successor_list_len, latency=latency, pns=pns)
         if id_source == "hash":
             ids: list[int] = []
-            seen: set = set()
+            seen: set[int] = set()
             salt = 0
             while len(ids) < n_nodes:
                 nid = node_id(f"node-{len(ids)}-{salt}", m)

@@ -75,7 +75,7 @@ _FORMATS = {"json": _FMT_JSON, "msgpack": _FMT_MSGPACK}
 #: registered message dataclasses constructible from the wire.  Keys must be
 #: registered in the ``register_message`` schema; the codec cross-checks at
 #: encode/decode time.
-_MESSAGE_CLASSES: dict[str, type] = {
+_MESSAGE_CLASSES: dict[str, type[Any]] = {
     "QueryMessage": QueryMessage,
     "ResultMessage": ResultMessage,
 }

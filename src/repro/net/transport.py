@@ -489,7 +489,12 @@ class TcpTransport:
             "qid": qid, "size": size, "sent_at": rec.sent_at, "payload": payload,
         })
         if dst_addr == self.addr:
-            loop.create_task(self._answer_local(kind, payload, rid))
+            # keep the handle: the loop holds tasks weakly, and an
+            # unreferenced answer task can be collected before it resolves
+            # the future (its exception would surface only at exit)
+            task = loop.create_task(self._answer_local(kind, payload, rid))
+            self._client_tasks.add(task)
+            task.add_done_callback(self._client_tasks.discard)
         else:
             self._conn(dst_addr).enqueue(frame, None, None)
         try:

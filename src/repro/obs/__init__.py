@@ -19,7 +19,10 @@ span tracing.  See ``docs/observability.md`` for the metrics catalogue.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
 
 from .export import (
     export_metrics,
@@ -168,13 +171,15 @@ class Observability:
     def enabled(self) -> bool:
         return self.registry.enabled or self.recorder is not None
 
-    def bind(self, sim) -> Observability:
+    def bind(self, sim: Simulator) -> Observability:
         """Point the span clock (and future samplers) at this simulator."""
         if self.recorder is not None:
             self.recorder.bind(sim)
         return self
 
-    def health_sampler(self, sim, interval: float = 1.0, **kwargs) -> HealthSampler:
+    def health_sampler(
+        self, sim: Simulator, interval: float = 1.0, **kwargs: Any
+    ) -> HealthSampler:
         """Create (and remember) a sampler wired into this registry."""
         sampler = HealthSampler(
             sim, interval, registry=self.registry, **kwargs)
@@ -183,7 +188,7 @@ class Observability:
 
     # -- output ------------------------------------------------------------------
 
-    def metrics_snapshot(self) -> list[dict]:
+    def metrics_snapshot(self) -> list[dict[str, Any]]:
         return self.registry.snapshot()
 
     def spans_for(self, qid: int) -> list[Span]:
@@ -208,5 +213,5 @@ class Observability:
     def __enter__(self) -> Observability:
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

@@ -13,8 +13,12 @@ import io
 import json
 import math
 import re
+from collections.abc import Iterator
 from contextlib import contextmanager
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = [
     "write_jsonl",
@@ -32,7 +36,7 @@ _LABEL_UNSAFE = re.compile(r"[^a-zA-Z0-9_]")
 
 
 @contextmanager
-def _open_target(target: Any, newline: str | None = None):
+def _open_target(target: Any, newline: str | None = None) -> Iterator[Any]:
     if hasattr(target, "write"):
         yield target
     else:
@@ -40,7 +44,7 @@ def _open_target(target: Any, newline: str | None = None):
             yield fh
 
 
-def _flatten(rec: dict) -> dict:
+def _flatten(rec: dict[str, Any]) -> dict[str, Any]:
     """Inline the labels dict so rows are flat for CSV/table output."""
     out = {k: v for k, v in rec.items() if k != "labels"}
     for k, v in rec.get("labels", {}).items():
@@ -48,10 +52,10 @@ def _flatten(rec: dict) -> dict:
     return out
 
 
-def write_jsonl(rows: list[dict], target: Any) -> None:
+def write_jsonl(rows: list[dict[str, Any]], target: Any) -> None:
     """One JSON object per line; NaN encoded as null for portability."""
 
-    def _clean(v):
+    def _clean(v: Any) -> Any:
         return None if isinstance(v, float) and math.isnan(v) else v
 
     with _open_target(target) as fh:
@@ -60,7 +64,7 @@ def write_jsonl(rows: list[dict], target: Any) -> None:
                                 default=str) + "\n")
 
 
-def write_csv(rows: list[dict], target: Any) -> None:
+def write_csv(rows: list[dict[str, Any]], target: Any) -> None:
     """CSV over the union of keys (labels inlined as ``label_<name>``)."""
     flat = [_flatten(r) for r in rows]
     fields: list[str] = []
@@ -74,7 +78,7 @@ def write_csv(rows: list[dict], target: Any) -> None:
         writer.writerows(flat)
 
 
-def read_metrics_jsonl(target: Any) -> list[dict]:
+def read_metrics_jsonl(target: Any) -> list[dict[str, Any]]:
     """Load snapshot rows back from a JSONL file (inverse of ``write_jsonl``).
 
     JSON has no NaN, so ``write_jsonl`` stores it as null; restore the NaN
@@ -114,7 +118,7 @@ def _fmt_value(v: float) -> str:
     return repr(float(v))
 
 
-def prometheus_text(registry) -> str:
+def prometheus_text(registry: MetricsRegistry) -> str:
     """Prometheus exposition-format text for every instrument.
 
     Histograms are rendered as summaries (``quantile`` label) plus
@@ -124,7 +128,7 @@ def prometheus_text(registry) -> str:
     return prometheus_text_from_rows(registry.snapshot())
 
 
-def prometheus_text_from_rows(rows: list[dict]) -> str:
+def prometheus_text_from_rows(rows: list[dict[str, Any]]) -> str:
     """Prometheus text from flat snapshot rows (live or reloaded JSONL).
 
     The same rows :meth:`MetricsRegistry.snapshot` produces — which is also
@@ -156,12 +160,12 @@ def prometheus_text_from_rows(rows: list[dict]) -> str:
     return buf.getvalue()
 
 
-def write_prometheus(registry, target: Any) -> None:
+def write_prometheus(registry: MetricsRegistry, target: Any) -> None:
     with _open_target(target) as fh:
         fh.write(prometheus_text(registry))
 
 
-def export_metrics(registry, target: Any, fmt: str = "jsonl") -> None:
+def export_metrics(registry: MetricsRegistry, target: Any, fmt: str = "jsonl") -> None:
     """Dump a registry snapshot in one of ``jsonl``/``csv``/``prom``."""
     if fmt == "jsonl":
         write_jsonl(registry.snapshot(), target)
@@ -173,7 +177,7 @@ def export_metrics(registry, target: Any, fmt: str = "jsonl") -> None:
         raise ValueError(f"unknown metrics format {fmt!r}")
 
 
-def format_metrics_rows(records: list[dict], prefix: str = "") -> str:
+def format_metrics_rows(records: list[dict[str, Any]], prefix: str = "") -> str:
     """Aligned plain-text summary of snapshot rows (live or reloaded).
 
     ``records`` come from :meth:`MetricsRegistry.snapshot` or from a JSONL
@@ -199,6 +203,6 @@ def format_metrics_rows(records: list[dict], prefix: str = "") -> str:
     return "\n".join(f"{name:<{width}}  {val}" for name, val in rows)
 
 
-def format_metrics_table(registry, prefix: str = "") -> str:
+def format_metrics_table(registry: MetricsRegistry, prefix: str = "") -> str:
     """Aligned plain-text summary (the ``repro metrics`` output)."""
     return format_metrics_rows(registry.snapshot(), prefix=prefix)

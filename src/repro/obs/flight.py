@@ -33,7 +33,7 @@ import json
 import os
 import weakref
 from collections import deque
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from typing import Any
 
@@ -169,7 +169,7 @@ class FlightRecorder:
         return path
 
     @contextmanager
-    def dump_on_error(self, reason: str):
+    def dump_on_error(self, reason: str) -> Iterator[FlightRecorder]:
         """Run a block; on any exception, dump a bundle and re-raise.
 
         The exception is recorded as a final event so the bundle's tail

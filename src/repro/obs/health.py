@@ -24,7 +24,10 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 from collections.abc import Callable
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
 
 import numpy as np
 
@@ -45,7 +48,7 @@ class HealthSample:
     load_deciles: list[float] = field(default_factory=list)
     extra: dict[str, float] = field(default_factory=dict)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return asdict(self)
 
 
@@ -64,13 +67,13 @@ class HealthSampler:
 
     def __init__(
         self,
-        sim,
+        sim: Simulator,
         interval: float = 1.0,
         *,
-        engine=None,
-        ring=None,
+        engine: Any = None,
+        ring: Any = None,
         load_fn: Callable[[], Any] | None = None,
-        registry=None,
+        registry: Any = None,
         probes: dict[str, Callable[[], float]] | None = None,
         jsonl: Any = None,
     ) -> None:
@@ -115,7 +118,7 @@ class HealthSampler:
             return self
         self._running = True
         self._until = None if duration is None else self.sim.now + duration
-        self.sim.schedule_in(self.interval, self._tick)
+        self.sim.every(self.interval, self._tick)
         return self
 
     def stop(self) -> None:
@@ -130,20 +133,21 @@ class HealthSampler:
             self._jsonl = None
             self._jsonl_owned = False
 
-    def _tick(self) -> None:
+    def _tick(self) -> bool:
+        """One sampling round; the truthy return re-arms ``sim.every``."""
         if not self._running:
-            return
+            return False
         if self._until is not None and self.sim.now > self._until:
             self._running = False
-            return
+            return False
         self.sample()
         # Never keep the simulation alive on our own: if the sampler's own
         # timer was the last queued event, the system is idle — stop instead
         # of ticking forever (``sim.run()`` must still terminate).
         if self.sim.pending() == 0 and self._until is None:
             self._running = False
-            return
-        self.sim.schedule_in(self.interval, self._tick)
+            return False
+        return True
 
     # -- capture ----------------------------------------------------------------
 
@@ -191,7 +195,7 @@ class HealthSampler:
 
     # -- output -----------------------------------------------------------------
 
-    def to_dicts(self) -> list[dict]:
+    def to_dicts(self) -> list[dict[str, Any]]:
         return [s.to_dict() for s in self.samples]
 
     def series(self, field_: str) -> tuple[list[float], list[float]]:

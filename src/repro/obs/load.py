@@ -13,6 +13,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
+
 __all__ = [
     "STORED_ENTRIES_GAUGE",
     "QUERY_HITS_GAUGE",
@@ -54,7 +59,8 @@ def load_summary(loads: np.ndarray) -> dict[str, float]:
     }
 
 
-def record_load_vector(registry, loads, metric: str = STORED_ENTRIES_GAUGE,
+def record_load_vector(registry: MetricsRegistry, loads: Any,
+                       metric: str = STORED_ENTRIES_GAUGE,
                        extra_labels: tuple[str, ...] = (),
                        extra_values: tuple[str, ...] = ()) -> None:
     """Set one gauge sample per node position from a load vector.
@@ -71,7 +77,7 @@ def record_load_vector(registry, loads, metric: str = STORED_ENTRIES_GAUGE,
     )
 
 
-def gauge_vector(registry, metric: str = STORED_ENTRIES_GAUGE,
+def gauge_vector(registry: MetricsRegistry, metric: str = STORED_ENTRIES_GAUGE,
                  match: dict[str, str] | None = None) -> np.ndarray:
     """Read a per-node gauge back as a vector ordered by the ``pos`` label.
 
@@ -93,7 +99,7 @@ def gauge_vector(registry, metric: str = STORED_ENTRIES_GAUGE,
     return np.asarray([v for _, v in out], dtype=float)
 
 
-def hotspot_report(loads, top_k: int = 5) -> dict:
+def hotspot_report(loads: Any, top_k: int = 5) -> dict[str, Any]:
     """Hotspot summary of a load vector: Fig. 4/6 statistics + top-k nodes."""
     loads = np.asarray(loads, dtype=float)
     report = load_summary(loads)
@@ -103,7 +109,7 @@ def hotspot_report(loads, top_k: int = 5) -> dict:
     return report
 
 
-def format_hotspot_report(report: dict, title: str = "load") -> str:
+def format_hotspot_report(report: dict[str, Any], title: str = "load") -> str:
     """Render a hotspot report as the small table ``repro metrics`` prints."""
     lines = [
         f"{title}: max={report['max']:.1f} mean={report['mean']:.2f} "

@@ -46,7 +46,7 @@ __all__ = [
 _RAMP = " .:-=+*#%@"
 
 
-def read_health_jsonl(target: Any) -> list[dict]:
+def read_health_jsonl(target: Any) -> list[dict[str, Any]]:
     """Load health samples (one JSON object per line); tolerant of a
     mid-write trailing partial line, so it is safe to tail a live file."""
     if hasattr(target, "read"):
@@ -57,7 +57,7 @@ def read_health_jsonl(target: Any) -> list[dict]:
                 text = fh.read()
         except FileNotFoundError:
             return []
-    rows: list[dict] = []
+    rows: list[dict[str, Any]] = []
     for line in text.splitlines():
         if not line.strip():
             continue
@@ -68,7 +68,7 @@ def read_health_jsonl(target: Any) -> list[dict]:
     return rows
 
 
-def throughput_series(samples: list[dict], counter: str = "routed_total") -> list[float]:
+def throughput_series(samples: list[dict[str, Any]], counter: str = "routed_total") -> list[float]:
     """Per-interval rate from a cumulative ``extra`` probe on the sim clock.
 
     ``rate[i] = (counter[i] - counter[i-1]) / (t[i] - t[i-1])`` — one value
@@ -113,8 +113,8 @@ def _decile_bar(deciles: list[float]) -> str:
 
 
 def render_top(
-    health_rows: list[dict],
-    metrics_rows: list[dict] | None = None,
+    health_rows: list[dict[str, Any]],
+    metrics_rows: list[dict[str, Any]] | None = None,
     width: int = 72,
 ) -> str:
     """One dashboard frame over the health tail (pure function of its input)."""
@@ -215,7 +215,7 @@ class ObsHTTPServer(ThreadingHTTPServer):
     def __init__(
         self,
         metrics_fn: Callable[[], str] | None = None,
-        health_fn: Callable[[], list[dict]] | None = None,
+        health_fn: Callable[[], list[dict[str, Any]]] | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
@@ -227,7 +227,7 @@ class ObsHTTPServer(ThreadingHTTPServer):
     def metrics_text(self) -> str:
         return self._metrics_fn() if self._metrics_fn is not None else ""
 
-    def health_rows(self) -> list[dict]:
+    def health_rows(self) -> list[dict[str, Any]]:
         return self._health_fn() if self._health_fn is not None else []
 
     @property
@@ -255,7 +255,12 @@ class ObsHTTPServer(ThreadingHTTPServer):
         self.stop()
 
 
-def serve_registry(registry, sampler=None, host: str = "127.0.0.1", port: int = 0) -> ObsHTTPServer:
+def serve_registry(
+    registry: Any,
+    sampler: Any = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ObsHTTPServer:
     """An endpoint over a live in-process registry (and optional sampler)."""
     from repro.obs.export import prometheus_text
 

@@ -39,6 +39,8 @@ import math
 import random
 import zlib
 from bisect import bisect_left, insort
+from collections.abc import Callable, Sequence
+from typing import Any, TypeVar, cast
 
 __all__ = [
     "Counter",
@@ -50,6 +52,8 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_HOP_BUCKETS",
 ]
+
+_I = TypeVar("_I", bound="_Instrument")
 
 #: delivery-latency buckets in seconds (the King matrix RTTs live in the
 #: tens-to-hundreds of milliseconds)
@@ -70,9 +74,9 @@ class _Instrument:
         self.help = help
         self.labelnames = tuple(labelnames)
         #: label-value tuple -> instrument state (float or _HistState)
-        self.values: dict = {}
+        self.values: dict[tuple[Any, ...], Any] = {}
 
-    def _check(self, labels: tuple) -> tuple:
+    def _check(self, labels: tuple[Any, ...]) -> tuple[Any, ...]:
         if len(labels) != len(self.labelnames):
             raise ValueError(
                 f"{self.name}: expected {len(self.labelnames)} label value(s) "
@@ -80,7 +84,7 @@ class _Instrument:
             )
         return labels
 
-    def samples(self) -> list[tuple[tuple, object]]:
+    def samples(self) -> list[tuple[tuple[Any, ...], object]]:
         """All (label-values, value) pairs, sorted for stable export order."""
         return sorted(self.values.items(), key=lambda kv: kv[0])
 
@@ -90,17 +94,17 @@ class Counter(_Instrument):
 
     kind = "counter"
 
-    def inc(self, labels: tuple = (), amount: float = 1.0) -> None:
+    def inc(self, labels: tuple[Any, ...] = (), amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"{self.name}: counters only go up (got {amount})")
         key = self._check(labels)
         self.values[key] = self.values.get(key, 0.0) + amount
 
-    def add(self, amount: float, labels: tuple = ()) -> None:
+    def add(self, amount: float, labels: tuple[Any, ...] = ()) -> None:
         """``inc`` with the amount first (reads better for byte totals)."""
         self.inc(labels, amount)
 
-    def value(self, labels: tuple = ()) -> float:
+    def value(self, labels: tuple[Any, ...] = ()) -> float:
         return float(self.values.get(labels, 0.0))
 
     def total(self) -> float:
@@ -113,10 +117,14 @@ class Gauge(_Instrument):
 
     kind = "gauge"
 
-    def set(self, value: float, labels: tuple = ()) -> None:
+    def set(self, value: float, labels: tuple[Any, ...] = ()) -> None:
         self.values[self._check(labels)] = float(value)
 
-    def set_many(self, values, labelsets) -> None:
+    def set_many(
+        self,
+        values: Sequence[float],
+        labelsets: Sequence[tuple[Any, ...]],
+    ) -> None:
         """Bulk :meth:`set` over aligned ``values``/``labelsets`` sequences.
 
         One dict update instead of a checked call per sample — the cheap way
@@ -128,14 +136,14 @@ class Gauge(_Instrument):
             self._check(labelsets[0])
         self.values.update(zip(labelsets, (float(v) for v in values)))
 
-    def inc(self, labels: tuple = (), amount: float = 1.0) -> None:
+    def inc(self, labels: tuple[Any, ...] = (), amount: float = 1.0) -> None:
         key = self._check(labels)
         self.values[key] = self.values.get(key, 0.0) + amount
 
-    def dec(self, labels: tuple = (), amount: float = 1.0) -> None:
+    def dec(self, labels: tuple[Any, ...] = (), amount: float = 1.0) -> None:
         self.inc(labels, -amount)
 
-    def value(self, labels: tuple = ()) -> float:
+    def value(self, labels: tuple[Any, ...] = ()) -> float:
         return float(self.values.get(labels, 0.0))
 
 
@@ -183,7 +191,7 @@ class Histogram(_Instrument):
         # (crc32, not hash() — string hashing is salted per process)
         self._seed = zlib.crc32(name.encode())
 
-    def _state(self, labels: tuple) -> _HistState:
+    def _state(self, labels: tuple[Any, ...]) -> _HistState:
         key = self._check(labels)
         st = self.values.get(key)
         if st is None:
@@ -191,7 +199,7 @@ class Histogram(_Instrument):
             self.values[key] = st
         return st
 
-    def observe(self, value: float, labels: tuple = ()) -> None:
+    def observe(self, value: float, labels: tuple[Any, ...] = ()) -> None:
         st = self._state(labels)
         st.counts[bisect_left(self.buckets, value)] += 1
         st.sum += value
@@ -202,12 +210,13 @@ class Histogram(_Instrument):
             else:
                 # Vitter's algorithm R; evicting a uniformly random index of
                 # the sorted sample is evicting a uniformly random element
+                assert st._rng is not None  # reservoir implies a seeded rng
                 j = st._rng.randrange(st.count)
                 if j < self.reservoir:
                     del st.sample[j]
                     insort(st.sample, value)
 
-    def observe_many(self, values, labels: tuple = ()) -> None:
+    def observe_many(self, values: Any, labels: tuple[Any, ...] = ()) -> None:
         """Record a whole vector of observations at once.
 
         Bit-identical to looping :meth:`observe`: ``numpy.searchsorted``
@@ -234,19 +243,19 @@ class Histogram(_Instrument):
         st.sum += float(vals.sum())
         st.count += int(vals.size)
 
-    def count(self, labels: tuple = ()) -> int:
+    def count(self, labels: tuple[Any, ...] = ()) -> int:
         st = self.values.get(labels)
         return st.count if st is not None else 0
 
-    def sum(self, labels: tuple = ()) -> float:
+    def sum(self, labels: tuple[Any, ...] = ()) -> float:
         st = self.values.get(labels)
         return st.sum if st is not None else 0.0
 
-    def mean(self, labels: tuple = ()) -> float:
+    def mean(self, labels: tuple[Any, ...] = ()) -> float:
         st = self.values.get(labels)
         return st.sum / st.count if st is not None and st.count else math.nan
 
-    def percentile(self, q: float, labels: tuple = ()) -> float:
+    def percentile(self, q: float, labels: tuple[Any, ...] = ()) -> float:
         """The ``q``-quantile (``q`` in [0, 1]); NaN with no observations.
 
         Reservoir histograms interpolate over the kept sample; fixed-bucket
@@ -281,7 +290,7 @@ class Histogram(_Instrument):
                 return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
         return self.buckets[-1]
 
-    def snapshot(self, labels: tuple = ()) -> dict[str, float]:
+    def snapshot(self, labels: tuple[Any, ...] = ()) -> dict[str, float]:
         """count/sum/p50/p90/p99 of one labelset (the exporters' unit)."""
         return {
             "count": float(self.count(labels)),
@@ -306,7 +315,14 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[str, _Instrument] = {}
 
-    def _get_or_create(self, cls, name: str, help: str, labelnames, **kwargs):
+    def _get_or_create(
+        self,
+        cls: type[_I],
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        **kwargs: Any,
+    ) -> _I:
         inst = self._metrics.get(name)
         if inst is not None:
             if not isinstance(inst, cls):
@@ -319,21 +335,28 @@ class MetricsRegistry:
                     f"{inst.labelnames}, requested {tuple(labelnames)}"
                 )
             return inst
-        inst = cls(name, help, tuple(labelnames), **kwargs)
-        self._metrics[name] = inst
-        return inst
+        # Histogram grows the base signature (buckets/reservoir), so the
+        # constructor is called through an untyped factory view of ``cls``
+        factory = cast("Callable[..., _I]", cls)
+        new = factory(name, help, tuple(labelnames), **kwargs)
+        self._metrics[name] = new
+        return new
 
-    def counter(self, name: str, help: str = "", labelnames=()) -> Counter:
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
         return self._get_or_create(Counter, name, help, labelnames)
 
-    def gauge(self, name: str, help: str = "", labelnames=()) -> Gauge:
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
         return self._get_or_create(Gauge, name, help, labelnames)
 
     def histogram(
         self,
         name: str,
         help: str = "",
-        labelnames=(),
+        labelnames: Sequence[str] = (),
         buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
         reservoir: int = 0,
     ) -> Histogram:
@@ -354,16 +377,16 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def snapshot(self) -> list[dict]:
+    def snapshot(self) -> list[dict[str, Any]]:
         """Flat sample records — the exporters' common input.
 
         One dict per (metric, labelset): counters and gauges carry
         ``value``; histograms carry ``count``/``sum``/``p50``/``p90``/``p99``.
         """
-        out: list[dict] = []
+        out: list[dict[str, Any]] = []
         for inst in self.collect():
             for labels, _ in inst.samples():
-                rec = {
+                rec: dict[str, Any] = {
                     "name": inst.name,
                     "type": inst.kind,
                     "help": inst.help,
@@ -380,49 +403,53 @@ class MetricsRegistry:
 class _NullInstrument:
     """Accepts every instrument method as a no-op."""
 
-    def inc(self, labels=(), amount=1.0) -> None:
+    def inc(self, labels: tuple[Any, ...] = (), amount: float = 1.0) -> None:
         pass
 
-    def add(self, amount, labels=()) -> None:
+    def add(self, amount: float, labels: tuple[Any, ...] = ()) -> None:
         pass
 
-    def dec(self, labels=(), amount=1.0) -> None:
+    def dec(self, labels: tuple[Any, ...] = (), amount: float = 1.0) -> None:
         pass
 
-    def set(self, value, labels=()) -> None:
+    def set(self, value: float, labels: tuple[Any, ...] = ()) -> None:
         pass
 
-    def set_many(self, values, labelsets) -> None:
+    def set_many(
+        self,
+        values: Sequence[float],
+        labelsets: Sequence[tuple[Any, ...]],
+    ) -> None:
         pass
 
-    def observe(self, value, labels=()) -> None:
+    def observe(self, value: float, labels: tuple[Any, ...] = ()) -> None:
         pass
 
-    def observe_many(self, values, labels=()) -> None:
+    def observe_many(self, values: Any, labels: tuple[Any, ...] = ()) -> None:
         pass
 
-    def value(self, labels=()):
+    def value(self, labels: tuple[Any, ...] = ()) -> float:
         return 0.0
 
-    def total(self):
+    def total(self) -> float:
         return 0.0
 
-    def count(self, labels=()):
+    def count(self, labels: tuple[Any, ...] = ()) -> int:
         return 0
 
-    def sum(self, labels=()):
+    def sum(self, labels: tuple[Any, ...] = ()) -> float:
         return 0.0
 
-    def mean(self, labels=()):
+    def mean(self, labels: tuple[Any, ...] = ()) -> float:
         return math.nan
 
-    def percentile(self, q, labels=()):
+    def percentile(self, q: float, labels: tuple[Any, ...] = ()) -> float:
         return math.nan
 
-    def snapshot(self, labels=()):
+    def snapshot(self, labels: tuple[Any, ...] = ()) -> dict[str, float]:
         return {}
 
-    def samples(self):
+    def samples(self) -> list[tuple[tuple[Any, ...], object]]:
         return []
 
 
@@ -442,16 +469,27 @@ class NullRegistry(MetricsRegistry):
     def __init__(self) -> None:
         super().__init__()
 
-    def counter(self, name: str, help: str = "", labelnames=()):
-        return _NULL_INSTRUMENT
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return cast(Counter, _NULL_INSTRUMENT)
 
-    def gauge(self, name: str, help: str = "", labelnames=()):
-        return _NULL_INSTRUMENT
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return cast(Gauge, _NULL_INSTRUMENT)
 
-    def histogram(self, name, help="", labelnames=(), buckets=DEFAULT_LATENCY_BUCKETS, reservoir=0):
-        return _NULL_INSTRUMENT
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        reservoir: int = 0,
+    ) -> Histogram:
+        return cast(Histogram, _NULL_INSTRUMENT)
 
-    def snapshot(self) -> list[dict]:
+    def snapshot(self) -> list[dict[str, Any]]:
         return []
 
 

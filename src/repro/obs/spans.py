@@ -29,8 +29,12 @@ run cannot leave a truncated trace file behind (use ``with`` or
 from __future__ import annotations
 
 import json
+from collections.abc import Iterable
 from dataclasses import asdict, dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any, Self
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
 
 __all__ = [
     "Span",
@@ -68,7 +72,7 @@ class Span:
     def duration(self) -> float | None:
         return None if self.end is None else self.end - self.start
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return asdict(self)
 
 
@@ -81,10 +85,10 @@ class SpanSink:
     def close(self) -> None:  # pragma: no cover - default no-op
         pass
 
-    def __enter__(self):
+    def __enter__(self) -> Self:
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -162,7 +166,7 @@ class SpanRecorder:
 
     # -- wiring ----------------------------------------------------------------
 
-    def bind(self, sim) -> None:
+    def bind(self, sim: Simulator) -> None:
         """Timestamp spans from this simulator's clock from now on."""
         self._sim = sim
 
@@ -285,10 +289,10 @@ class SpanRecorder:
         for sink in self.sinks:
             sink.close()
 
-    def __enter__(self):
+    def __enter__(self) -> Self:
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -304,7 +308,9 @@ class SpanTree:
             self.children.setdefault(parent, []).append(s)
 
     @classmethod
-    def from_records(cls, records, qid: int | None = None) -> SpanTree:
+    def from_records(
+        cls, records: Iterable[Span | dict[str, Any]], qid: int | None = None
+    ) -> SpanTree:
         """Build from Span objects or JSONL dicts; later duplicate sids win
         (an interval span flushed open and later finished)."""
         merged: dict[int, Span] = {}
@@ -316,7 +322,7 @@ class SpanTree:
         return cls(list(merged.values()))
 
     @classmethod
-    def from_jsonl(cls, path, qid: int | None = None) -> SpanTree:
+    def from_jsonl(cls, path: str, qid: int | None = None) -> SpanTree:
         with open(path) as fh:
             records = [json.loads(line) for line in fh if line.strip()]
         return cls.from_records(records, qid=qid)
@@ -383,7 +389,7 @@ class SpanTree:
         return "\n".join(lines)
 
 
-def reconcile_with_stats(spans: list[Span], qstats) -> list[str]:
+def reconcile_with_stats(spans: list[Span], qstats: Any) -> list[str]:
     """Cross-check one query's span stream against its stats counters.
 
     The span tree and :class:`repro.sim.stats.QueryStats` are filled by
@@ -426,7 +432,9 @@ def reconcile_with_stats(spans: list[Span], qstats) -> list[str]:
     return problems
 
 
-def spans_from_query_trace(qtrace, recorder: SpanRecorder | None = None) -> list[Span]:
+def spans_from_query_trace(
+    qtrace: Any, recorder: SpanRecorder | None = None
+) -> list[Span]:
     """Convert a :class:`repro.core.trace.QueryTrace` into span records.
 
     The legacy tracer keeps a flat event list without parent links; the

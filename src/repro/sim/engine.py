@@ -58,7 +58,7 @@ class EventHandle:
 
     __slots__ = ("_cell", "_sim")
 
-    def __init__(self, cell: list, sim: Simulator | None = None) -> None:
+    def __init__(self, cell: list[Any], sim: Simulator | None = None) -> None:
         self._cell = cell
         self._sim = sim
 
@@ -97,7 +97,7 @@ class Simulator:
     COMPACT_MIN_QUEUE = 64
 
     def __init__(self) -> None:
-        self._queue: list = []
+        self._queue: list[tuple[float, int, Callable[..., Any] | None, Any]] = []
         self._seq = itertools.count()
         self.now: float = 0.0
         self.events_processed: int = 0
@@ -119,19 +119,38 @@ class Simulator:
         """CRC32 over every executed ``(time, seq)`` pair (0 until enabled)."""
         return self._digest
 
-    def schedule_at(self, time: float, fn: Callable, *args: Any) -> None:
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
         if time < self.now:
             raise ValueError(f"cannot schedule into the past ({time} < {self.now})")
         heapq.heappush(self._queue, (time, next(self._seq), fn, args))
 
-    def schedule_in(self, delay: float, fn: Callable, *args: Any) -> None:
+    def schedule_in(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` after ``delay`` seconds of simulated time."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         self.schedule_at(self.now + delay, fn, *args)
 
-    def schedule_batch(self, entries: list) -> None:
+    def every(self, interval: float, fn: Callable[[], bool]) -> None:
+        """Periodic hook: call ``fn()`` every ``interval`` seconds for as
+        long as it returns truthy.
+
+        This is the sanctioned way for cross-cutting observers (invariant
+        checkers, health samplers) to ride the event queue without owning
+        it: the re-arm pattern lives here, in the scheduler layer, instead
+        of being re-implemented around raw :meth:`schedule_in` calls in
+        protocol-adjacent code (which the ARCH202 lint rule rejects).
+        Scheduling is plain :meth:`schedule_in` under the hood, so the
+        ``(time, seq)`` stream — and with it the replay digest — is
+        identical to the hand-rolled loop it replaces.
+        """
+        def tick() -> None:
+            if fn():
+                self.schedule_in(interval, tick)
+
+        self.schedule_in(interval, tick)
+
+    def schedule_batch(self, entries: list[tuple[float, Callable[..., Any], tuple[Any, ...]]]) -> None:
         """Schedule many ``(time, fn, args)`` entries with one heapify.
 
         The bulk-injection path for workloads: pushing ``k`` events one by
@@ -152,7 +171,7 @@ class Simulator:
         )
         heapq.heapify(self._queue)
 
-    def schedule_cancelable_at(self, time: float, fn: Callable, *args: Any) -> EventHandle:
+    def schedule_cancelable_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Like :meth:`schedule_at`, returning a cancelable :class:`EventHandle`."""
         if time < self.now:
             raise ValueError(f"cannot schedule into the past ({time} < {self.now})")
@@ -160,7 +179,7 @@ class Simulator:
         heapq.heappush(self._queue, (time, next(self._seq), _CANCELABLE, cell))
         return EventHandle(cell, self)
 
-    def schedule_cancelable_in(self, delay: float, fn: Callable, *args: Any) -> EventHandle:
+    def schedule_cancelable_in(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Like :meth:`schedule_in`, returning a cancelable :class:`EventHandle`."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")

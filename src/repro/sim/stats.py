@@ -40,8 +40,8 @@ class QueryStats:
     result_messages: int = 0
     #: messages that arrived at a crashed node and were lost (churn runs)
     dropped_messages: int = 0
-    index_nodes: set = field(default_factory=set)
-    entries: list = field(default_factory=list)
+    index_nodes: set[int] = field(default_factory=set)
+    entries: list[Any] = field(default_factory=list)
     #: lifecycle state mirror ("untracked" when no LifecycleEngine is wired;
     #: otherwise issued/routing/resolving/complete/timed_out)
     state: str = "untracked"

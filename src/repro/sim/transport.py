@@ -35,10 +35,22 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 from collections.abc import Callable
-from typing import Any
+from typing import TYPE_CHECKING, Any, Protocol as StructuralType, Self
 
 from repro.sim.engine import EventHandle, Simulator
 from repro.util.rng import spawn_rngs
+
+if TYPE_CHECKING:
+    from repro.sim.network import LatencyModel
+
+
+class Peer(StructuralType):
+    """Structural endpoint type: anything with a node id and a host index
+    (ring nodes, test doubles).  Liveness is probed via ``getattr(dst,
+    "alive", True)`` so pure data endpoints stay valid peers."""
+
+    id: int
+    host: int
 
 __all__ = [
     "FaultConfig",
@@ -187,10 +199,10 @@ class TraceSink:
     def close(self) -> None:  # pragma: no cover - default no-op
         pass
 
-    def __enter__(self):
+    def __enter__(self) -> Self:
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -270,10 +282,10 @@ class Transport:
     def __init__(
         self,
         sim: Simulator | None = None,
-        latency=None,
+        latency: LatencyModel | None = None,
         faults: FaultConfig | None = None,
         trace: TraceSink | None = None,
-        metrics=None,
+        metrics: Any = None,
     ) -> None:
         self.sim = sim if sim is not None else Simulator()
         self.latency = latency
@@ -294,7 +306,7 @@ class Transport:
             for host in group:
                 self._partition_of[host] = gi
 
-    def attach_metrics(self, metrics) -> None:
+    def attach_metrics(self, metrics: Any) -> None:
         """Resolve registry instruments for this transport (or disable them).
 
         Instruments are resolved once and guarded with a single ``is not
@@ -323,16 +335,16 @@ class Transport:
 
     # -- scheduling helpers (local, non-network) -------------------------------
 
-    def timer(self, delay: float, fn: Callable, *args: Any) -> None:
+    def timer(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` seconds (maintenance timers,
         workload arrivals — anything that is not a network message)."""
         self.sim.schedule_in(delay, fn, *args)
 
-    def at(self, time: float, fn: Callable, *args: Any) -> None:
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
         """Run ``fn(*args)`` at absolute simulation time ``time``."""
         self.sim.schedule_at(time, fn, *args)
 
-    def at_batch(self, entries: list) -> None:
+    def at_batch(self, entries: list[tuple[float, Callable[..., Any], tuple[Any, ...]]]) -> None:
         """Schedule many ``(time, fn, args)`` callbacks with one heapify.
 
         Bulk workload injection: equivalent to calling :meth:`at` per entry
@@ -342,13 +354,13 @@ class Transport:
         """
         self.sim.schedule_batch(entries)
 
-    def timer_cancelable(self, delay: float, fn: Callable, *args: Any) -> TimerHandle:
+    def timer_cancelable(self, delay: float, fn: Callable[..., Any], *args: Any) -> TimerHandle:
         """Like :meth:`timer`, returning a handle that can cancel the firing
         (retransmission timeouts, per-query deadlines).  Cancellation
         tombstones the queued event — the engine skips dispatch entirely."""
         return self.sim.schedule_cancelable_in(delay, fn, *args)
 
-    def at_cancelable(self, time: float, fn: Callable, *args: Any) -> TimerHandle:
+    def at_cancelable(self, time: float, fn: Callable[..., Any], *args: Any) -> TimerHandle:
         """Like :meth:`at`, returning a cancelable :class:`TimerHandle`."""
         return self.sim.schedule_cancelable_at(time, fn, *args)
 
@@ -370,9 +382,9 @@ class Transport:
 
     def send(
         self,
-        src,
-        dst,
-        handler: Callable,
+        src: Peer,
+        dst: Peer,
+        handler: Callable[..., None],
         *args: Any,
         kind: str = "message",
         size: int = 0,
@@ -435,7 +447,9 @@ class Transport:
             self._m_sent.inc((proto,))
             self._m_bytes.add(size, (proto, cls))
 
-    def _deliver(self, dst, handler, args, rec: MessageTrace, on_drop) -> None:
+    def _deliver(self, dst: Peer, handler: Callable[..., None],
+                 args: tuple[Any, ...], rec: MessageTrace,
+                 on_drop: Callable[[MessageTrace], None] | None) -> None:
         if not getattr(dst, "alive", True):
             self._drop(rec, DROPPED_DEAD, on_drop)
             return
@@ -449,7 +463,8 @@ class Transport:
             self.trace.record(rec)
         handler(*args)
 
-    def _drop(self, rec: MessageTrace, status: str, on_drop) -> bool:
+    def _drop(self, rec: MessageTrace, status: str,
+              on_drop: Callable[[MessageTrace], None] | None) -> bool:
         rec.status = status
         if status == DROPPED_DEAD:
             self.stats.dropped_dead += 1
@@ -465,7 +480,8 @@ class Transport:
             on_drop(rec)
         return False
 
-    def control(self, src, dst, kind: str = "maintenance", size: int = 0) -> bool:
+    def control(self, src: Peer, dst: Peer, kind: str = "maintenance",
+                size: int = 0) -> bool:
         """Account one synchronous control-message hop; True when delivered.
 
         Stabilisation models its request/response pairs as instantaneous
@@ -520,10 +536,10 @@ class Protocol:
     def __init__(
         self,
         sim: Simulator | None = None,
-        stats=None,
-        latency=None,
+        stats: Any = None,
+        latency: LatencyModel | None = None,
         transport: Transport | None = None,
-        maintenance=None,
+        maintenance: Any = None,
     ) -> None:
         if transport is None:
             transport = Transport(sim=sim, latency=latency)
@@ -535,12 +551,12 @@ class Protocol:
         #: so maintenance messages can piggyback on these links (§3.3).
         self.maintenance = maintenance
 
-    def default_stats(self):
+    def default_stats(self) -> Any:
         from repro.sim.stats import StatsCollector
 
         return StatsCollector()
 
-    def note_traffic(self, src, dst) -> None:
+    def note_traffic(self, src: Peer, dst: Peer) -> None:
         """Report query traffic on a link to the maintenance protocol."""
         if self.maintenance is not None and src is not dst:
             self.maintenance.note_query_traffic(src.host, dst.host)

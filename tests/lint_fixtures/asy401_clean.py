@@ -1,0 +1,16 @@
+# lint-fixture-module: repro.net.fixture_blocking
+"""ASY401 clean twin: the asyncio sleep yields the loop while waiting."""
+
+import asyncio
+
+
+async def backoff(attempt: int) -> None:
+    await asyncio.sleep(0.5 * attempt)
+
+
+def sync_helper() -> None:
+    # a nested sync def runs off the await chain (thread pool, call_soon
+    # from sync code) — blocking here is out of ASY401's scope
+    import time
+
+    time.sleep(0.01)

@@ -1,0 +1,8 @@
+# lint-fixture-module: repro.net.fixture_blocking
+"""ASY401 trip: a coroutine stalling the event loop with a sync sleep."""
+
+import time
+
+
+async def backoff(attempt: int) -> None:
+    time.sleep(0.5 * attempt)  # ASY401: blocks every peer on this loop

@@ -1,0 +1,10 @@
+# lint-fixture-module: repro.net.fixture_lostcall
+"""ASY402 clean twin: the coroutine is awaited (or handed to a kept task)."""
+
+
+async def refresh_fingers() -> None:
+    return None
+
+
+async def maintenance_round() -> None:
+    await refresh_fingers()

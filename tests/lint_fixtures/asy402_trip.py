@@ -1,0 +1,10 @@
+# lint-fixture-module: repro.net.fixture_lostcall
+"""ASY402 trip: a coroutine called bare — the body never runs."""
+
+
+async def refresh_fingers() -> None:
+    return None
+
+
+async def maintenance_round() -> None:
+    refresh_fingers()  # ASY402: builds a coroutine object and drops it

@@ -1,0 +1,16 @@
+# lint-fixture-module: repro.net.fixture_droptask
+"""ASY403 clean twin: the handle is kept until the task completes."""
+
+import asyncio
+
+_TASKS: set[asyncio.Task[None]] = set()
+
+
+async def flush_wal() -> None:
+    return None
+
+
+async def on_commit() -> None:
+    task = asyncio.create_task(flush_wal())
+    _TASKS.add(task)
+    task.add_done_callback(_TASKS.discard)

@@ -1,0 +1,12 @@
+# lint-fixture-module: repro.net.fixture_droptask
+"""ASY403 trip: a fire-and-forget task whose only reference is discarded."""
+
+import asyncio
+
+
+async def flush_wal() -> None:
+    return None
+
+
+async def on_commit() -> None:
+    asyncio.create_task(flush_wal())  # ASY403: collectable mid-flight

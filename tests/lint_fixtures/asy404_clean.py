@@ -1,0 +1,22 @@
+# lint-fixture-module: repro.net.fixture_lockwait
+"""ASY404 clean twin: an asyncio lock cooperates with the event loop."""
+
+import asyncio
+import threading
+
+
+class PeerRegistry:
+    def __init__(self) -> None:
+        self._lock = asyncio.Lock()
+        self._sync_guard = threading.Lock()
+        self.peers: list[str] = []
+
+    async def publish(self, peer: str) -> None:
+        async with self._lock:
+            self.peers.append(peer)
+            await asyncio.sleep(0)
+
+    def snapshot(self) -> list[str]:
+        # sync context: holding a threading lock without awaiting is fine
+        with self._sync_guard:
+            return list(self.peers)

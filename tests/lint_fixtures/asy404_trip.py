@@ -1,0 +1,16 @@
+# lint-fixture-module: repro.net.fixture_lockwait
+"""ASY404 trip: suspending with a threading lock held deadlocks the loop."""
+
+import asyncio
+import threading
+
+
+class PeerRegistry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.peers: list[str] = []
+
+    async def publish(self, peer: str) -> None:
+        with self._lock:
+            self.peers.append(peer)
+            await asyncio.sleep(0)  # ASY404: parked holding the lock

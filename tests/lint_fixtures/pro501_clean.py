@@ -1,0 +1,26 @@
+# lint-fixture-module: repro.net.fixture_wiretable
+"""PRO501 clean twin: the wire table mirrors the registry exactly."""
+
+from dataclasses import dataclass
+
+from repro.sim.messages import register_message
+
+
+@register_message
+@dataclass(slots=True)
+class PingMessage:
+    src: int
+    dst: int
+
+
+@register_message
+@dataclass(slots=True)
+class PongMessage:
+    src: int
+    dst: int
+
+
+_MESSAGE_CLASSES = {
+    "PingMessage": PingMessage,
+    "PongMessage": PongMessage,
+}

@@ -1,0 +1,26 @@
+# lint-fixture-module: repro.net.fixture_wiretable
+"""PRO501 trip: a registered message missing from the wire table."""
+
+from dataclasses import dataclass
+
+from repro.sim.messages import register_message
+
+
+@register_message
+@dataclass(slots=True)
+class PingMessage:
+    src: int
+    dst: int
+
+
+@register_message
+@dataclass(slots=True)
+class PongMessage:
+    src: int
+    dst: int
+
+
+# PRO501: PongMessage encodes but can never be decoded off the wire
+_MESSAGE_CLASSES = {
+    "PingMessage": PingMessage,
+}

@@ -1,0 +1,12 @@
+# lint-fixture-module: repro.net.fixture_badrpc
+"""PRO502 clean twin: every requested kind has a registration."""
+
+
+def wire(transport, payload: dict) -> None:
+    transport.register_rpc("ping", lambda msg: msg)
+    transport.register_handler("gossip", lambda msg: None)
+
+
+async def probe(transport, addr: str) -> dict:
+    await transport.send(addr, "gossip", {})
+    return await transport.rpc(addr, "ping", {})

@@ -1,0 +1,11 @@
+# lint-fixture-module: repro.net.fixture_badrpc
+"""PRO502 trip: an RPC kind requested but registered nowhere."""
+
+
+def wire(transport, payload: dict) -> None:
+    transport.register_rpc("pong", lambda msg: msg)
+
+
+async def probe(transport, addr: str) -> dict:
+    # PRO502: no register_rpc("ping", ...) anywhere — times out forever
+    return await transport.rpc(addr, "ping", {})

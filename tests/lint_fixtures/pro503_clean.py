@@ -1,0 +1,14 @@
+# lint-fixture-module: repro.net.fixture_codecdrift
+"""PRO503 clean twin: the encoder carries exactly the dataclass fields."""
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class Coord:
+    x: float
+    y: float
+
+
+def encode_coord(value: Coord) -> dict:
+    return {"__obj__": "Coord", "x": value.x, "y": value.y}

@@ -1,0 +1,15 @@
+# lint-fixture-module: repro.net.fixture_codecdrift
+"""PRO503 trip: the encoder literal drifted from the dataclass fields."""
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class Coord:
+    x: float
+    y: float
+
+
+def encode_coord(value: Coord) -> dict:
+    # PRO503: `y` never reaches the wire, `z` does not exist
+    return {"__obj__": "Coord", "x": value.x, "z": 0.0}

@@ -85,6 +85,42 @@ class TestEngine:
         assert sim.now == 0.0
         assert sim.pending() == 0
 
+    def test_every_rearms_until_falsy(self):
+        sim = Simulator()
+        out = []
+
+        def tick():
+            out.append(sim.now)
+            return len(out) < 3
+
+        sim.every(1.0, tick)
+        sim.run()
+        assert out == [1.0, 2.0, 3.0]
+        assert sim.pending() == 0  # a falsy return really stops the chain
+
+    def test_every_matches_handrolled_digest(self):
+        def handrolled():
+            sim = Simulator()
+            sim.digest_enabled = True
+
+            def tick():
+                if sim.now < 3:
+                    sim.schedule_in(1.0, tick)
+
+            sim.schedule_in(1.0, tick)
+            sim.run()
+            return sim.schedule_digest
+
+        def via_every():
+            sim = Simulator()
+            sim.digest_enabled = True
+            sim.every(1.0, lambda: sim.now < 3)
+            sim.run()
+            return sim.schedule_digest
+
+        # the sanctioned periodic hook must not perturb replay fingerprints
+        assert handrolled() == via_every()
+
 
 class TestLatencyModels:
     def test_constant(self):

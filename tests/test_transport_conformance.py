@@ -157,3 +157,41 @@ def test_seeded_loss_is_reproducible(harness):
         harness.settle()
     assert outcomes[0] == outcomes[1]
     assert any(outcomes[0]) and not all(outcomes[0])
+
+
+# -- tcp-only regressions ---------------------------------------------------
+
+
+def test_local_rpc_answer_task_handle_is_kept():
+    """Regression (ASY403): the self-addressed RPC fast path spawns an
+    answer task; its handle must be strongly referenced until completion,
+    or the loop's weak task set lets it be collected mid-flight."""
+    import asyncio
+
+    from repro.net.transport import TcpTransport
+
+    async def scenario():
+        transport = TcpTransport(node_id=0, host=0)
+        await transport.start(listen=False)
+        release = asyncio.Event()
+
+        async def handler(payload, src):
+            await release.wait()
+            return {"echo": payload}
+
+        transport.register_rpc("echo", handler)
+        rpc = asyncio.create_task(
+            transport.rpc(transport.addr, "echo", {"n": 1}))
+        await asyncio.sleep(0)  # let the answer task spawn
+        assert transport._client_tasks, "answer task handle was dropped"
+        release.set()
+        reply = await rpc
+        assert reply == {"echo": {"n": 1}}
+        for _ in range(3):  # done_callback runs a tick after completion
+            if not transport._client_tasks:
+                break
+            await asyncio.sleep(0)
+        assert not transport._client_tasks, "completed task not discarded"
+        await transport.close()
+
+    asyncio.run(scenario())
